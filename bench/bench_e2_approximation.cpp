@@ -1,0 +1,43 @@
+// E2 (Theorem 1.1): value of the returned flow vs the exact optimum,
+// swept over eps and graph families. The theorem promises
+// value >= (1 - eps) * OPT (up to the small-scale constants discussed in
+// EXPERIMENTS.md); the flow must always be feasible and conserved.
+#include "baselines/dinic.h"
+#include "bench_util.h"
+#include "graph/flow.h"
+#include "maxflow/sherman.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace dmf;
+  using namespace dmf::bench;
+
+  print_header("E2", "approximation quality: value / OPT");
+  print_row({"family", "eps", "mean", "min", "max", "feasible"});
+  for (const std::string family : {"gnp", "grid", "regular", "chords"}) {
+    for (const double eps : {0.5, 0.25, 0.15}) {
+      Summary ratios;
+      bool all_feasible = true;
+      for (int trial = 0; trial < 4; ++trial) {
+        Rng rng(2000 + trial * 131 + static_cast<int>(eps * 100));
+        const Graph g = make_family(family, 48, rng);
+        const NodeId s = 0;
+        const NodeId t = g.num_nodes() - 1;
+        const double exact = dinic_max_flow_value(g, s, t);
+        ShermanOptions options;
+        options.epsilon = eps;
+        options.almost_route.epsilon = eps < 0.5 ? eps : 0.5;
+        const ShermanSolver solver(g, options, rng);
+        const MaxFlowApproxResult flow = solver.max_flow(s, t);
+        ratios.add(flow.value / exact);
+        all_feasible = all_feasible && is_feasible(g, flow.flow, 1e-6) &&
+                       max_conservation_violation(g, flow.flow, s, t) < 1e-6;
+      }
+      print_row({family, fmt(eps, 2), fmt(ratios.mean()), fmt(ratios.min()),
+                 fmt(ratios.max()), all_feasible ? "yes" : "NO"});
+    }
+  }
+  std::printf("\nexpected shape: mean ratio -> 1 as eps shrinks; never > 1; "
+              "always feasible.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E9 (Lemma 8.2): the random tree decomposition (cut each parent link
+// with probability size/sqrt(n)) produces O(sqrt n) components of depth
+// Õ(sqrt n), for every tree shape. Paths are the depth-adversarial case,
+// stars the count-adversarial case.
+#include <cmath>
+
+#include "bench_util.h"
+#include "graph/tree.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace dmf;
+  using namespace dmf::bench;
+
+  print_header("E9", "random tree decomposition (Lemma 8.2)");
+  print_row({"shape", "n", "components", "c/sqrt(n)", "depth",
+             "d/sqrt(n)"});
+  Rng rng(9000);
+  struct Shape {
+    std::string name;
+    Graph graph;
+  };
+  for (const NodeId n : {256, 1024}) {
+    std::vector<Shape> shapes;
+    shapes.push_back({"path", make_path(n, {1, 1}, rng)});
+    shapes.push_back({"star", make_caterpillar(1, n - 1, {1, 1}, rng)});
+    shapes.push_back({"caterpillar",
+                      make_caterpillar(static_cast<int>(n) / 8, 7, {1, 1}, rng)});
+    shapes.push_back({"random", make_random_tree(n, {1, 1}, rng)});
+    for (const Shape& shape : shapes) {
+      const RootedTree tree = bfs_spanning_tree(shape.graph, 0);
+      Summary comps;
+      Summary depth;
+      const double sqrt_n = std::sqrt(static_cast<double>(
+          shape.graph.num_nodes()));
+      for (int trial = 0; trial < 10; ++trial) {
+        const TreeDecomposition dec =
+            decompose_tree_random(tree, sqrt_n, rng);
+        comps.add(static_cast<double>(dec.count));
+        depth.add(static_cast<double>(dec.max_depth));
+      }
+      print_row({shape.name, fmt_int(shape.graph.num_nodes()),
+                 fmt(comps.mean(), 1), fmt(comps.mean() / sqrt_n, 2),
+                 fmt(depth.mean(), 1), fmt(depth.mean() / sqrt_n, 2)});
+    }
+  }
+  std::printf("\nexpected shape: both normalized columns stay O(1) (up to "
+              "log factors on the path's depth).\n");
+  return 0;
+}

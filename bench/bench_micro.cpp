@@ -1,0 +1,90 @@
+// E13: micro-benchmarks of the core data-structure operations
+// (google-benchmark). These are the per-iteration costs behind the
+// wall-clock of the pipeline: BFS, tree loads, R apply / R^T apply,
+// LSST construction, and the exact baselines.
+#include <benchmark/benchmark.h>
+
+#include "baselines/dinic.h"
+#include "capprox/approximator.h"
+#include "capprox/hierarchy.h"
+#include "graph/algorithms.h"
+#include "graph/flow.h"
+#include "graph/generators.h"
+#include "graph/tree.h"
+#include "lsst/akpw.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dmf;
+
+Graph bench_graph(std::int64_t n) {
+  Rng rng(static_cast<std::uint64_t>(n) * 2 + 1);
+  return make_gnp_connected(static_cast<NodeId>(n), 4.0 / static_cast<double>(n),
+                            {1, 10}, rng);
+}
+
+void BM_BfsTree(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_bfs_tree(g, 0).height);
+  }
+}
+BENCHMARK(BM_BfsTree)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_TreeEdgeLoads(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  const RootedTree tree = bfs_spanning_tree(g, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree_edge_loads(g, tree).size());
+  }
+}
+BENCHMARK(BM_TreeEdgeLoads)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_AkpwLsst(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  const Multigraph mg = Multigraph::from_graph(g);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        akpw_low_stretch_tree(mg, AkpwOptions{}, rng).tree_edges.size());
+  }
+}
+BENCHMARK(BM_AkpwLsst)->Arg(256)->Arg(1024);
+
+void BM_SampleVirtualTree(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sample_virtual_tree(g, HierarchyOptions{}, rng).levels);
+  }
+}
+BENCHMARK(BM_SampleVirtualTree)->Arg(256)->Arg(1024);
+
+void BM_ApproximatorApply(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  Rng rng(13);
+  const std::vector<VirtualTreeSample> samples =
+      sample_virtual_trees(g, 8, HierarchyOptions{}, rng);
+  const CongestionApproximator approx =
+      CongestionApproximator::from_samples(samples);
+  const std::vector<double> b =
+      st_demand(g.num_nodes(), 0, g.num_nodes() - 1, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(approx.congestion_norm(b));
+  }
+}
+BENCHMARK(BM_ApproximatorApply)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_DinicExact(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dinic_max_flow_value(g, 0, g.num_nodes() - 1));
+  }
+}
+BENCHMARK(BM_DinicExact)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Shared helpers for the experiment harness (E1..E12): families of input
+// graphs and simple aligned table printing. Each bench binary regenerates
+// one table of EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace dmf::bench {
+
+inline Graph make_family(const std::string& family, NodeId n, Rng& rng) {
+  if (family == "grid") {
+    int side = 1;
+    while ((side + 1) * (side + 1) <= n) ++side;
+    return make_grid(side, side, {1, 8}, rng);
+  }
+  if (family == "torus") {
+    int side = 3;
+    while ((side + 1) * (side + 1) <= n) ++side;
+    return make_torus(side, side, {1, 8}, rng);
+  }
+  if (family == "gnp") {
+    return make_gnp_connected(n, 4.0 / static_cast<double>(n), {1, 8}, rng);
+  }
+  if (family == "regular") {
+    const NodeId even = (n % 2 == 0) ? n : n + 1;
+    return make_random_regular(even, 4, {1, 8}, rng);
+  }
+  if (family == "chords") {
+    return make_tree_plus_chords(n, n / 2, {1, 8}, rng);
+  }
+  DMF_REQUIRE(false, "make_family: unknown family " + family);
+  return Graph();
+}
+
+// Minimal fixed-width row printer.
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt(double x, int precision = 3) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, x);
+  return buffer;
+}
+
+inline std::string fmt_int(long long x) { return std::to_string(x); }
+
+inline void print_header(const std::string& id, const std::string& title) {
+  std::printf("\n==== %s: %s ====\n", id.c_str(), title.c_str());
+}
+
+}  // namespace dmf::bench

@@ -1,0 +1,160 @@
+#include "baselines/dinic.h"
+
+#include <limits>
+#include <queue>
+
+namespace dmf {
+
+namespace {
+
+// Residual network for undirected graphs: each undirected edge e becomes
+// the arc pair (2e, 2e+1), mutual reverses, each with capacity cap(e) and
+// antisymmetric flow (flow[2e] == -flow[2e+1]). The net signed flow on the
+// undirected edge equals flow[2e].
+class Residual {
+ public:
+  explicit Residual(const Graph& g) : graph_(g) {
+    const auto n = static_cast<std::size_t>(g.num_nodes());
+    flow_.assign(2 * static_cast<std::size_t>(g.num_edges()), 0.0);
+    head_.resize(n);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const EdgeEndpoints ep = g.endpoints(e);
+      head_[static_cast<std::size_t>(ep.u)].push_back(2 * e);
+      head_[static_cast<std::size_t>(ep.v)].push_back(2 * e + 1);
+    }
+    level_.assign(n, -1);
+    iter_.assign(n, 0);
+  }
+
+  [[nodiscard]] NodeId arc_target(EdgeId arc) const {
+    const EdgeEndpoints ep = graph_.endpoints(arc / 2);
+    return (arc % 2 == 0) ? ep.v : ep.u;
+  }
+
+  [[nodiscard]] double residual_cap(EdgeId arc) const {
+    return graph_.capacity(arc / 2) - flow_[static_cast<std::size_t>(arc)];
+  }
+
+  void push(EdgeId arc, double amount) {
+    flow_[static_cast<std::size_t>(arc)] += amount;
+    flow_[static_cast<std::size_t>(arc ^ 1)] -= amount;
+  }
+
+  bool bfs(NodeId s, NodeId t) {
+    std::fill(level_.begin(), level_.end(), -1);
+    std::queue<NodeId> q;
+    level_[static_cast<std::size_t>(s)] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      for (const EdgeId arc : head_[static_cast<std::size_t>(v)]) {
+        const NodeId to = arc_target(arc);
+        if (residual_cap(arc) > kEps &&
+            level_[static_cast<std::size_t>(to)] < 0) {
+          level_[static_cast<std::size_t>(to)] =
+              level_[static_cast<std::size_t>(v)] + 1;
+          q.push(to);
+        }
+      }
+    }
+    return level_[static_cast<std::size_t>(t)] >= 0;
+  }
+
+  double dfs(NodeId v, NodeId t, double limit) {
+    if (v == t) return limit;
+    auto& it = iter_[static_cast<std::size_t>(v)];
+    for (; it < head_[static_cast<std::size_t>(v)].size(); ++it) {
+      const EdgeId arc = head_[static_cast<std::size_t>(v)][it];
+      const NodeId to = arc_target(arc);
+      if (residual_cap(arc) > kEps &&
+          level_[static_cast<std::size_t>(to)] ==
+              level_[static_cast<std::size_t>(v)] + 1) {
+        const double pushed =
+            dfs(to, t, std::min(limit, residual_cap(arc)));
+        if (pushed > kEps) {
+          push(arc, pushed);
+          return pushed;
+        }
+      }
+    }
+    return 0.0;
+  }
+
+  double run(NodeId s, NodeId t) {
+    double total = 0.0;
+    while (bfs(s, t)) {
+      std::fill(iter_.begin(), iter_.end(), 0);
+      while (true) {
+        const double pushed =
+            dfs(s, t, std::numeric_limits<double>::infinity());
+        if (pushed <= kEps) break;
+        total += pushed;
+      }
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::vector<double> undirected_flows() const {
+    std::vector<double> out(flow_.size() / 2);
+    for (std::size_t e = 0; e < out.size(); ++e) out[e] = flow_[2 * e];
+    return out;
+  }
+
+  // Nodes reachable from s in the residual graph (call after run()).
+  [[nodiscard]] std::vector<char> residual_reachable(NodeId s) const {
+    std::vector<char> seen(head_.size(), 0);
+    std::queue<NodeId> q;
+    seen[static_cast<std::size_t>(s)] = 1;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      for (const EdgeId arc : head_[static_cast<std::size_t>(v)]) {
+        const NodeId to = arc_target(arc);
+        if (residual_cap(arc) > kEps && !seen[static_cast<std::size_t>(to)]) {
+          seen[static_cast<std::size_t>(to)] = 1;
+          q.push(to);
+        }
+      }
+    }
+    return seen;
+  }
+
+ private:
+  static constexpr double kEps = 1e-12;
+
+  const Graph& graph_;
+  std::vector<double> flow_;
+  std::vector<std::vector<EdgeId>> head_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace
+
+MaxFlowResult dinic_max_flow(const Graph& g, NodeId s, NodeId t) {
+  DMF_REQUIRE(g.is_valid_node(s) && g.is_valid_node(t) && s != t,
+              "dinic_max_flow: bad terminals");
+  Residual residual(g);
+  MaxFlowResult result;
+  result.value = residual.run(s, t);
+  result.edge_flow = residual.undirected_flows();
+  return result;
+}
+
+double dinic_max_flow_value(const Graph& g, NodeId s, NodeId t) {
+  return dinic_max_flow(g, s, t).value;
+}
+
+MinCutResult dinic_min_cut(const Graph& g, NodeId s, NodeId t) {
+  DMF_REQUIRE(g.is_valid_node(s) && g.is_valid_node(t) && s != t,
+              "dinic_min_cut: bad terminals");
+  Residual residual(g);
+  MinCutResult result;
+  result.capacity = residual.run(s, t);
+  result.source_side = residual.residual_reachable(s);
+  return result;
+}
+
+}  // namespace dmf

@@ -1,0 +1,16 @@
+// Goldberg–Tarjan push–relabel, centralized (FIFO + gap heuristic).
+//
+// Second exact reference implementation; cross-checked against Dinic in
+// the test suite. Also the sequential counterpart of the distributed
+// push–relabel program in src/congest/push_relabel_dist.*, which the paper
+// cites as the natural-but-slow Omega(n^2)-round CONGEST baseline (§1.2).
+#pragma once
+
+#include "baselines/dinic.h"
+#include "graph/graph.h"
+
+namespace dmf {
+
+MaxFlowResult push_relabel_max_flow(const Graph& g, NodeId s, NodeId t);
+
+}  // namespace dmf

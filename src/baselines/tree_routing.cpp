@@ -1,0 +1,110 @@
+#include "baselines/tree_routing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dmf {
+
+namespace {
+
+// Union-find with path compression + union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace
+
+RootedTree max_weight_spanning_tree(const Graph& g, NodeId root) {
+  DMF_REQUIRE(g.is_valid_node(root), "max_weight_spanning_tree: bad root");
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<EdgeId> order(static_cast<std::size_t>(g.num_edges()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&g](EdgeId a, EdgeId b) {
+    return g.capacity(a) > g.capacity(b);
+  });
+  UnionFind uf(n);
+  // Adjacency restricted to chosen tree edges.
+  std::vector<std::vector<AdjEntry>> tree_adj(n);
+  std::size_t chosen = 0;
+  for (const EdgeId e : order) {
+    const EdgeEndpoints ep = g.endpoints(e);
+    if (uf.unite(static_cast<std::size_t>(ep.u),
+                 static_cast<std::size_t>(ep.v))) {
+      tree_adj[static_cast<std::size_t>(ep.u)].push_back({ep.v, e});
+      tree_adj[static_cast<std::size_t>(ep.v)].push_back({ep.u, e});
+      if (++chosen == n - 1) break;
+    }
+  }
+  DMF_REQUIRE(chosen == n - 1 || n <= 1,
+              "max_weight_spanning_tree: graph is disconnected");
+
+  RootedTree tree;
+  tree.root = root;
+  tree.parent.assign(n, kInvalidNode);
+  tree.parent_cap.assign(n, 0.0);
+  tree.parent_edge.assign(n, kInvalidEdge);
+  // BFS over tree edges to set parent pointers.
+  std::vector<char> seen(n, 0);
+  std::vector<NodeId> stack = {root};
+  seen[static_cast<std::size_t>(root)] = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const AdjEntry& a : tree_adj[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(a.to)]) {
+        seen[static_cast<std::size_t>(a.to)] = 1;
+        tree.parent[static_cast<std::size_t>(a.to)] = v;
+        tree.parent_edge[static_cast<std::size_t>(a.to)] = a.edge;
+        tree.parent_cap[static_cast<std::size_t>(a.to)] = g.capacity(a.edge);
+        stack.push_back(a.to);
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<double> route_demand_on_spanning_tree(
+    const Graph& g, const RootedTree& tree, const std::vector<double>& b) {
+  DMF_REQUIRE(b.size() == static_cast<std::size_t>(g.num_nodes()),
+              "route_demand_on_spanning_tree: demand size mismatch");
+  const double total = std::accumulate(b.begin(), b.end(), 0.0);
+  DMF_REQUIRE(std::abs(total) <= 1e-6 * (1.0 + std::abs(b[0])) + 1e-6,
+              "route_demand_on_spanning_tree: demand does not sum to zero");
+  const std::vector<double> link_flow = route_demand_on_tree(tree, b);
+  std::vector<double> flow(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+    const EdgeId e = tree.parent_edge[static_cast<std::size_t>(v)];
+    if (e == kInvalidEdge) continue;
+    const EdgeEndpoints ep = g.endpoints(e);
+    // link_flow[v] flows from v toward parent(v); orient onto the edge.
+    const double f = link_flow[static_cast<std::size_t>(v)];
+    flow[static_cast<std::size_t>(e)] += (ep.u == v) ? f : -f;
+  }
+  return flow;
+}
+
+}  // namespace dmf

@@ -1,0 +1,87 @@
+// Recursive construction and sampling of virtual trees (Theorem 8.10).
+//
+// A sample is drawn level by level. Level state: a core multigraph whose
+// nodes are clusters of the base graph (level 0: every node a singleton
+// cluster). Per level we (1) sparsify the core if dense (Lemma 6.1, caps
+// up-scaled so the sparsifier never undersells cuts), (2) build a small
+// multiplicative-weights distribution of j-trees with j = N/(4*beta)
+// (Lemma 8.4) — each j-tree from an AKPW low-stretch spanning tree of the
+// current lengths — (3) sample one j-tree, (4) materialize its forest
+// links into the virtual tree under construction (cluster representative
+// -> representative of forest parent, capacity = tree load), and (5)
+// recurse on the portal core. Once the core size drops below
+// n^(1/2+o(1)) (finish_threshold) the construction "goes local" exactly as
+// in the paper: the same code path continues, the Lemma 8.2 random cut
+// set is disabled, and the round accounting switches to a single
+// make-it-global broadcast.
+//
+// The returned virtual rooted tree over V has the two Theorem 8.10
+// properties (checked empirically by E5): cuts in the tree are never
+// (much) smaller than in G, and are larger only by an alpha in n^o(1) in
+// expectation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/tree.h"
+#include "lsst/akpw.h"
+#include "sparsify/sparsifier.h"
+#include "util/rng.h"
+
+namespace dmf {
+
+struct HierarchyOptions {
+  // Core shrink factor per level (paper: beta = 2^(log^(3/4) n); at
+  // laptop scale that degenerates to one level, so the default 4 keeps a
+  // real hierarchy — see paper_beta()).
+  double beta = 4.0;
+  // Size of the per-level j-tree distribution (Lemma 8.4's Õ(beta));
+  // 0 selects max(3, beta).
+  int trees_per_level = 0;
+  // Core size below which the construction runs "locally"; 0 selects
+  // max(8, 2*sqrt(n)).
+  int finish_threshold = 0;
+  // Sparsify the core when it has more than sparsify_degree * N edges.
+  double sparsify_degree = 16.0;
+  // Capacity up-scaling after sparsification (stands in for the paper's
+  // 1/(1-eps) with the (1+o(1)) sparsifier).
+  double sparsifier_upscale = 1.25;
+  // Multiplicative-weights step for the per-level length updates.
+  double mwu_eta = 0.5;
+  SparsifierOptions sparsifier;
+  AkpwOptions akpw = default_akpw();
+
+  static AkpwOptions default_akpw() {
+    AkpwOptions opt;
+    // Looser partition acceptance: the hierarchy builds many trees, and
+    // per-tree restart storms would dominate runtime.
+    opt.partition.max_retries = 6;
+    opt.partition.slack = 6.0;
+    return opt;
+  }
+};
+
+// The paper's beta for a given n (2^(log2 n)^(3/4)).
+double paper_beta(NodeId n);
+
+struct VirtualTreeSample {
+  RootedTree tree;  // over V; parent_cap = virtual capacities
+  int levels = 0;
+  double rounds = 0.0;           // accounted CONGEST rounds
+  std::vector<int> level_sizes;  // core size entering each level
+  int max_cluster_depth = 0;     // bound tracked during construction
+};
+
+// Sample one virtual tree from the recursively constructed distribution.
+VirtualTreeSample sample_virtual_tree(const Graph& g,
+                                      const HierarchyOptions& options,
+                                      Rng& rng);
+
+// O(log n) independent samples (Lemma 3.3); count <= 0 selects
+// ceil(2 * log2 n).
+std::vector<VirtualTreeSample> sample_virtual_trees(
+    const Graph& g, int count, const HierarchyOptions& options, Rng& rng);
+
+}  // namespace dmf

@@ -1,0 +1,35 @@
+// Distributed Borůvka minimum/maximum spanning tree on cluster graphs.
+//
+// Lemma 9.1 computes the maximum-weight spanning tree with the MST
+// algorithm of Kutten-Peleg; we implement the Borůvka merging scheme on
+// top of the cluster-graph machinery: each phase, every component finds
+// its best outgoing edge (a convergecast + broadcast on its cluster
+// tree, plus one psi-edge exchange — exactly the pattern of
+// simulate_cluster_exchange, validated at the message level in
+// cluster_test.cpp), then components merge along the selected edges.
+// O(log n) phases; each phase costs one Lemma 5.1 cluster round.
+//
+// Weight orientation: `maximize` = true selects the maximum-weight tree
+// (what Algorithm 1 needs); false the minimum-weight tree.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/tree.h"
+
+namespace dmf {
+
+struct BoruvkaResult {
+  std::vector<EdgeId> tree_edges;  // n-1 edges of the spanning tree
+  int phases = 0;
+  double rounds = 0.0;  // accounted CONGEST rounds (Lemma 5.1 per phase)
+};
+
+BoruvkaResult distributed_boruvka(const Graph& g, bool maximize);
+
+// Convenience: rooted maximum-weight spanning tree via Borůvka.
+RootedTree boruvka_max_weight_tree(const Graph& g, NodeId root,
+                                   double* rounds = nullptr);
+
+}  // namespace dmf

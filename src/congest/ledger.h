@@ -1,0 +1,87 @@
+// Round-cost accounting for composed distributed algorithms.
+//
+// The full pipeline (sparsify -> LSST -> j-tree levels -> sampling ->
+// gradient descent) is algorithmically executed on one machine; its
+// CONGEST round complexity is accounted by charging, for every distributed
+// operation, the paper's cost formula instantiated with *measured*
+// quantities of the actual run (BFS-tree depth, cluster-tree depths,
+// number of large clusters, iteration counts). The message-level
+// simulator (network.h) validates the primitive costs these formulas are
+// built from.
+//
+// Charges are labeled so benchmarks can print a per-phase breakdown.
+#pragma once
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/require.h"
+
+namespace dmf::congest {
+
+class RoundLedger {
+ public:
+  void charge(const std::string& label, double rounds) {
+    DMF_REQUIRE(rounds >= 0.0, "RoundLedger::charge: negative rounds");
+    by_label_[label] += rounds;
+    total_ += rounds;
+  }
+
+  [[nodiscard]] double total() const { return total_; }
+
+  [[nodiscard]] const std::map<std::string, double>& breakdown() const {
+    return by_label_;
+  }
+
+  void merge(const RoundLedger& other) {
+    for (const auto& [label, rounds] : other.by_label_) {
+      charge(label, rounds);
+    }
+  }
+
+  [[nodiscard]] std::string report() const {
+    std::string out;
+    for (const auto& [label, rounds] : by_label_) {
+      out += "  " + label + ": " + std::to_string(rounds) + "\n";
+    }
+    out += "  TOTAL: " + std::to_string(total_) + "\n";
+    return out;
+  }
+
+ private:
+  std::map<std::string, double> by_label_;
+  double total_ = 0.0;
+};
+
+// Cost formulas (constants deliberately explicit and small; they matter
+// for the measured curves, not for the asymptotic shape).
+struct CostModel {
+  int n = 1;          // nodes of the underlying network graph
+  int diameter = 1;   // measured BFS-tree height (upper bounds D)
+
+  [[nodiscard]] double sqrt_n() const {
+    return std::sqrt(static_cast<double>(n));
+  }
+  [[nodiscard]] double log_n() const {
+    return std::log2(static_cast<double>(std::max(2, n)));
+  }
+
+  // One BFS / flood / echo over the whole graph.
+  [[nodiscard]] double bfs() const { return diameter + 1.0; }
+
+  // Broadcast or convergecast of k independent items over a BFS tree
+  // (pipelined): D + k.
+  [[nodiscard]] double pipelined(double k) const { return diameter + k; }
+
+  // One communication step on a cluster graph whose cluster trees have
+  // depth d, with `large` clusters of size > sqrt(n) (Lemma 5.1):
+  // intra-cluster broadcast/convergecast (d) + global pipelining of the
+  // large clusters' messages (D + large) + the edge exchange (1).
+  [[nodiscard]] double cluster_step(double cluster_depth, double large) const {
+    return 2.0 * cluster_depth + 2.0 * (diameter + large) + 1.0;
+  }
+};
+
+}  // namespace dmf::congest

@@ -1,0 +1,255 @@
+// Synchronous CONGEST-model network simulator.
+//
+// The model (paper §1.1): computation proceeds in synchronous rounds; per
+// round, over each edge, O(log n) bits may be sent in each direction. We
+// model a message as at most kMaxWordsPerMessage 64-bit words (a constant
+// number of O(log n)-bit fields, since capacities and ids are poly(n)).
+// The simulator enforces the bandwidth budget: sending more than one
+// message per edge-direction per round, or an oversized message, throws.
+//
+// Node programs are written against NodeContext, which exposes exactly the
+// information a CONGEST node initially has: its id, its incident edges
+// (ports 0..degree-1) with capacities, and its neighbors' ids. Programs
+// are per-node objects (local state only); the Network steps them in
+// lockstep and collects round/message statistics.
+//
+// Termination: a node may call ctx.halt() for local termination; the run
+// stops when all nodes have halted, when a configurable number of
+// consecutive quiet rounds (no messages in flight) passes, or at
+// max_rounds, whichever is first.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/require.h"
+
+namespace dmf::congest {
+
+inline constexpr int kMaxWordsPerMessage = 8;
+
+struct Message {
+  std::vector<std::int64_t> words;
+
+  Message() = default;
+  explicit Message(std::initializer_list<std::int64_t> w) : words(w) {}
+
+  [[nodiscard]] std::int64_t at(std::size_t i) const {
+    DMF_REQUIRE(i < words.size(), "Message::at out of range");
+    return words[i];
+  }
+  [[nodiscard]] std::size_t size() const { return words.size(); }
+};
+
+struct RunStats {
+  int rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t words = 0;
+  bool all_halted = false;
+};
+
+class Network;
+
+// The local view a program has of its node.
+class NodeContext {
+ public:
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] int round() const { return round_; }
+  [[nodiscard]] std::size_t degree() const { return ports_.size(); }
+  [[nodiscard]] NodeId neighbor(std::size_t port) const {
+    DMF_REQUIRE(port < ports_.size(), "neighbor: bad port");
+    return ports_[port].to;
+  }
+  [[nodiscard]] double edge_capacity(std::size_t port) const {
+    DMF_REQUIRE(port < ports_.size(), "edge_capacity: bad port");
+    return capacities_[port];
+  }
+  // Global knowledge that is standard in CONGEST: n is known to all nodes.
+  [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
+
+  // Message received on `port` this round, if any.
+  [[nodiscard]] const std::optional<Message>& received(std::size_t port) const {
+    DMF_REQUIRE(port < inbox_.size(), "received: bad port");
+    return inbox_[port];
+  }
+
+  void send(std::size_t port, Message msg) {
+    DMF_REQUIRE(port < ports_.size(), "send: bad port");
+    DMF_REQUIRE(msg.words.size() <= kMaxWordsPerMessage,
+                "send: message exceeds CONGEST bandwidth budget");
+    DMF_REQUIRE(!outbox_[port].has_value(),
+                "send: one message per edge per round");
+    outbox_[port] = std::move(msg);
+  }
+
+  void halt() { halted_ = true; }
+  [[nodiscard]] bool halted() const { return halted_; }
+
+ private:
+  friend class Network;
+
+  NodeId id_ = kInvalidNode;
+  NodeId num_nodes_ = 0;
+  int round_ = 0;
+  bool halted_ = false;
+  std::vector<AdjEntry> ports_;
+  std::vector<double> capacities_;
+  std::vector<std::optional<Message>> inbox_;
+  std::vector<std::optional<Message>> outbox_;
+};
+
+// Requirements on a node program type.
+template <typename P>
+concept NodeProgram = requires(P p, NodeContext& ctx) {
+  { p.start(ctx) };
+  { p.round(ctx) };
+};
+
+struct RunOptions {
+  int max_rounds = 1 << 20;
+  // Stop after this many consecutive rounds with no messages in flight
+  // (and no node un-halted making progress). 0 disables quiescence stop.
+  int quiet_rounds_to_stop = 2;
+};
+
+class Network {
+ public:
+  explicit Network(const Graph& g) : graph_(&g) {
+    const auto n = static_cast<std::size_t>(g.num_nodes());
+    contexts_.resize(n);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      NodeContext& ctx = contexts_[static_cast<std::size_t>(v)];
+      ctx.id_ = v;
+      ctx.num_nodes_ = g.num_nodes();
+      ctx.ports_ = g.neighbors(v);
+      ctx.capacities_.reserve(ctx.ports_.size());
+      for (const AdjEntry& a : ctx.ports_) {
+        ctx.capacities_.push_back(g.capacity(a.edge));
+      }
+      ctx.inbox_.assign(ctx.ports_.size(), std::nullopt);
+      ctx.outbox_.assign(ctx.ports_.size(), std::nullopt);
+    }
+    // Reverse port lookup: for edge (v -> neighbor at port p), the port on
+    // the neighbor side that leads back to v. Parallel edges are matched
+    // via edge ids.
+    reverse_port_.resize(n);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      auto& rev = reverse_port_[static_cast<std::size_t>(v)];
+      const auto& ports = contexts_[static_cast<std::size_t>(v)].ports_;
+      rev.resize(ports.size());
+      for (std::size_t p = 0; p < ports.size(); ++p) {
+        const NodeId u = ports[p].to;
+        const auto& uports = contexts_[static_cast<std::size_t>(u)].ports_;
+        std::size_t found = uports.size();
+        for (std::size_t q = 0; q < uports.size(); ++q) {
+          if (uports[q].edge == ports[p].edge) {
+            found = q;
+            break;
+          }
+        }
+        DMF_REQUIRE(found < uports.size(), "Network: broken adjacency");
+        rev[p] = found;
+      }
+    }
+  }
+
+  // Run one program instance per node. `programs` must have one entry per
+  // node (indexed by NodeId); they hold all per-node state and can be
+  // inspected by the caller afterwards.
+  //
+  // `stop` is an optional global predicate checked after every round; it
+  // models an external termination-detection oracle (a real deployment
+  // would run an O(D)-round convergecast — callers account for that).
+  template <NodeProgram P, typename StopFn = std::nullptr_t>
+  RunStats run(std::vector<P>& programs, const RunOptions& options = {},
+               StopFn stop = nullptr) {
+    DMF_REQUIRE(programs.size() == contexts_.size(),
+                "Network::run: one program per node required");
+    reset();
+    RunStats stats;
+    for (std::size_t v = 0; v < programs.size(); ++v) {
+      programs[v].start(contexts_[v]);
+    }
+    // Messages from start() are delivered in round 1.
+    int quiet = 0;
+    while (stats.rounds < options.max_rounds) {
+      const std::int64_t sent = deliver_outboxes(stats);
+      bool any_active = false;
+      for (std::size_t v = 0; v < programs.size(); ++v) {
+        if (!contexts_[v].halted_) any_active = true;
+      }
+      if (!any_active) {
+        stats.all_halted = true;
+        break;
+      }
+      if (sent == 0) {
+        if (options.quiet_rounds_to_stop > 0 &&
+            ++quiet >= options.quiet_rounds_to_stop) {
+          break;
+        }
+      } else {
+        quiet = 0;
+      }
+      ++stats.rounds;
+      for (std::size_t v = 0; v < programs.size(); ++v) {
+        NodeContext& ctx = contexts_[v];
+        if (ctx.halted_) continue;
+        ctx.round_ = stats.rounds;
+        programs[v].round(ctx);
+      }
+      if constexpr (!std::is_same_v<StopFn, std::nullptr_t>) {
+        if (stop()) break;
+      }
+    }
+    return stats;
+  }
+
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+
+ private:
+  void reset() {
+    for (NodeContext& ctx : contexts_) {
+      ctx.halted_ = false;
+      ctx.round_ = 0;
+      std::fill(ctx.inbox_.begin(), ctx.inbox_.end(), std::nullopt);
+      std::fill(ctx.outbox_.begin(), ctx.outbox_.end(), std::nullopt);
+    }
+  }
+
+  // Move all outbox messages into the destination inboxes; returns the
+  // number of messages delivered and updates stats.
+  std::int64_t deliver_outboxes(RunStats& stats) {
+    // Clear inboxes first.
+    for (NodeContext& ctx : contexts_) {
+      std::fill(ctx.inbox_.begin(), ctx.inbox_.end(), std::nullopt);
+    }
+    std::int64_t delivered = 0;
+    for (std::size_t v = 0; v < contexts_.size(); ++v) {
+      NodeContext& ctx = contexts_[v];
+      for (std::size_t p = 0; p < ctx.outbox_.size(); ++p) {
+        if (!ctx.outbox_[p].has_value()) continue;
+        const NodeId to = ctx.ports_[p].to;
+        const std::size_t back = reverse_port_[v][p];
+        stats.words +=
+            static_cast<std::int64_t>(ctx.outbox_[p]->words.size());
+        ++stats.messages;
+        ++delivered;
+        contexts_[static_cast<std::size_t>(to)].inbox_[back] =
+            std::move(ctx.outbox_[p]);
+        ctx.outbox_[p] = std::nullopt;
+      }
+    }
+    return delivered;
+  }
+
+  const Graph* graph_;
+  std::vector<NodeContext> contexts_;
+  std::vector<std::vector<std::size_t>> reverse_port_;
+};
+
+}  // namespace dmf::congest

@@ -1,0 +1,246 @@
+// CONGEST node programs for the primitives the paper's toolchain uses:
+// BFS-tree construction, flood-max leader election, convergecast
+// aggregation, and pipelined broadcast of k items over a tree (the
+// "standard techniques" of §3 item 5 and Lemma 5.1).
+//
+// Each program is a per-node state machine; the Network steps them.
+// Tests verify both the computed results and the round counts (e.g.
+// pipelined broadcast of k items over a depth-d tree completes in
+// d + k + O(1) rounds).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.h"
+
+namespace dmf::congest {
+
+inline constexpr std::size_t kNoPort = static_cast<std::size_t>(-1);
+
+// --- BFS tree -------------------------------------------------------------
+// The root floods its distance; every node adopts the first sender as its
+// parent (ties broken by port order), rebroadcasts once, and halts.
+class BfsTreeProgram {
+ public:
+  struct Config {
+    NodeId root = 0;
+  };
+
+  explicit BfsTreeProgram(Config config) : config_(config) {}
+
+  void start(NodeContext& ctx) {
+    if (ctx.id() == config_.root) {
+      depth_ = 0;
+      for (std::size_t p = 0; p < ctx.degree(); ++p) {
+        ctx.send(p, Message{0});
+      }
+      ctx.halt();
+    }
+  }
+
+  void round(NodeContext& ctx) {
+    if (depth_ >= 0) {
+      ctx.halt();
+      return;
+    }
+    for (std::size_t p = 0; p < ctx.degree(); ++p) {
+      const auto& msg = ctx.received(p);
+      if (msg.has_value()) {
+        depth_ = static_cast<int>(msg->at(0)) + 1;
+        parent_port_ = p;
+        break;
+      }
+    }
+    if (depth_ >= 0) {
+      for (std::size_t p = 0; p < ctx.degree(); ++p) {
+        if (p != parent_port_) ctx.send(p, Message{depth_});
+      }
+      ctx.halt();
+    }
+  }
+
+  [[nodiscard]] int depth() const { return depth_; }
+  [[nodiscard]] std::size_t parent_port() const { return parent_port_; }
+
+ private:
+  Config config_;
+  int depth_ = -1;
+  std::size_t parent_port_ = kNoPort;
+};
+
+// --- Flood-max leader election ---------------------------------------------
+// Every node floods the largest id it has seen; quiescence after (hop
+// eccentricity of the max-id node) rounds. Nodes never halt; the run ends
+// by quiescence.
+class FloodMaxProgram {
+ public:
+  void start(NodeContext& ctx) {
+    leader_ = ctx.id();
+    for (std::size_t p = 0; p < ctx.degree(); ++p) {
+      ctx.send(p, Message{leader_});
+    }
+  }
+
+  void round(NodeContext& ctx) {
+    NodeId best = leader_;
+    for (std::size_t p = 0; p < ctx.degree(); ++p) {
+      const auto& msg = ctx.received(p);
+      if (msg.has_value()) {
+        best = std::max(best, static_cast<NodeId>(msg->at(0)));
+      }
+    }
+    if (best > leader_) {
+      leader_ = best;
+      for (std::size_t p = 0; p < ctx.degree(); ++p) {
+        ctx.send(p, Message{leader_});
+      }
+    }
+  }
+
+  [[nodiscard]] NodeId leader() const { return leader_; }
+
+ private:
+  NodeId leader_ = kInvalidNode;
+};
+
+// --- Convergecast sum -------------------------------------------------------
+// Given a rooted tree (parent ports computed beforehand, e.g. by
+// BfsTreeProgram), aggregate the sum of per-node values at the root.
+// Values are carried as fixed-point integers (value * 2^20) so they fit
+// the O(log n)-bit word model.
+//
+// Protocol: round 1, every non-root announces "child" to its parent; then
+// once a node has received sums from all its children it forwards its
+// subtree sum and halts.
+class ConvergecastSumProgram {
+ public:
+  struct Config {
+    bool is_root = false;
+    std::size_t parent_port = kNoPort;
+    double value = 0.0;
+  };
+
+  static constexpr double kScale = static_cast<double>(1 << 20);
+
+  explicit ConvergecastSumProgram(Config config) : config_(config) {}
+
+  void start(NodeContext& ctx) {
+    if (!config_.is_root) {
+      DMF_REQUIRE(config_.parent_port < ctx.degree(),
+                  "ConvergecastSum: bad parent port");
+      ctx.send(config_.parent_port, Message{kChildAnnounce});
+    }
+  }
+
+  void round(NodeContext& ctx) {
+    for (std::size_t p = 0; p < ctx.degree(); ++p) {
+      const auto& msg = ctx.received(p);
+      if (!msg.has_value()) continue;
+      if (msg->at(0) == kChildAnnounce) {
+        ++children_;
+      } else {
+        sum_ += static_cast<double>(msg->at(1)) / kScale;
+        ++received_;
+      }
+    }
+    // After round 1 every child has announced; from round 2 on, a node
+    // whose children have all reported sends up and halts.
+    if (ctx.round() >= 1 && !sent_ && received_ == children_) {
+      const double total = sum_ + config_.value;
+      if (config_.is_root) {
+        result_ = total;
+      } else {
+        ctx.send(config_.parent_port,
+                 Message{kSum, static_cast<std::int64_t>(total * kScale)});
+      }
+      sent_ = true;
+      ctx.halt();
+    }
+  }
+
+  [[nodiscard]] double result() const { return result_; }
+
+ private:
+  static constexpr std::int64_t kChildAnnounce = -1;
+  static constexpr std::int64_t kSum = 1;
+
+  Config config_;
+  int children_ = 0;
+  int received_ = 0;
+  bool sent_ = false;
+  double sum_ = 0.0;
+  double result_ = 0.0;
+};
+
+// --- Pipelined broadcast -----------------------------------------------------
+// The root injects k tokens, one per round, down a known tree; every node
+// forwards each received token to its children one round later. All nodes
+// receive all k tokens within depth + k + O(1) rounds — the pipelining
+// fact behind Lemma 5.1's O(D + √n) simulation bound.
+class PipelinedBroadcastProgram {
+ public:
+  struct Config {
+    bool is_root = false;
+    std::size_t parent_port = kNoPort;
+    std::vector<std::size_t> children_ports;
+    std::vector<std::int64_t> tokens;  // only used at the root
+  };
+
+  explicit PipelinedBroadcastProgram(Config config)
+      : config_(std::move(config)) {}
+
+  void start(NodeContext& ctx) {
+    if (config_.is_root) {
+      received_ = config_.tokens;
+      send_next(ctx);
+    }
+  }
+
+  void round(NodeContext& ctx) {
+    if (!config_.is_root && config_.parent_port != kNoPort) {
+      const auto& msg = ctx.received(config_.parent_port);
+      if (msg.has_value()) {
+        received_.push_back(msg->at(0));
+      }
+    }
+    send_next(ctx);
+  }
+
+  [[nodiscard]] const std::vector<std::int64_t>& received_tokens() const {
+    return received_;
+  }
+
+ private:
+  void send_next(NodeContext& ctx) {
+    if (forwarded_ < received_.size()) {
+      for (const std::size_t p : config_.children_ports) {
+        ctx.send(p, Message{received_[forwarded_]});
+      }
+      ++forwarded_;
+    }
+  }
+
+  Config config_;
+  std::vector<std::int64_t> received_;
+  std::size_t forwarded_ = 0;
+};
+
+// --- Helpers to extract structures from program runs -------------------------
+
+// Run BfsTreeProgram on g from root; returns per-node parent ports, depths
+// and the round count.
+struct DistributedBfsResult {
+  std::vector<std::size_t> parent_port;
+  std::vector<int> depth;
+  RunStats stats;
+};
+
+DistributedBfsResult run_distributed_bfs(const Graph& g, NodeId root);
+
+// Children ports per node, derived from a distributed BFS result.
+std::vector<std::vector<std::size_t>> children_ports_from_bfs(
+    const Graph& g, const DistributedBfsResult& bfs);
+
+}  // namespace dmf::congest

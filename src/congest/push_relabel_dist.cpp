@@ -1,0 +1,40 @@
+#include "congest/push_relabel_dist.h"
+
+namespace dmf::congest {
+
+DistributedPushRelabelResult run_distributed_push_relabel(const Graph& g,
+                                                          NodeId source,
+                                                          NodeId sink) {
+  DMF_REQUIRE(g.is_valid_node(source) && g.is_valid_node(sink) &&
+                  source != sink,
+              "run_distributed_push_relabel: bad terminals");
+  Network net(g);
+  std::vector<PushRelabelProgram> programs;
+  programs.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    programs.emplace_back(PushRelabelProgram::Config{source, sink});
+  }
+  RunOptions options;
+  options.max_rounds = 64 * static_cast<int>(g.num_nodes()) *
+                           static_cast<int>(g.num_nodes()) +
+                       4096;
+  options.quiet_rounds_to_stop = 0;  // nodes re-announce heights each pulse
+  int pulse_round = 0;
+  const auto all_settled = [&programs, &pulse_round, source, sink]() {
+    // Only evaluate at pulse boundaries (every 3 rounds).
+    ++pulse_round;
+    if (pulse_round % 3 != 0) return false;
+    for (std::size_t v = 0; v < programs.size(); ++v) {
+      const auto id = static_cast<NodeId>(v);
+      if (id == source || id == sink) continue;
+      if (programs[v].excess() > 1e-9) return false;
+    }
+    return true;
+  };
+  DistributedPushRelabelResult result;
+  result.stats = net.run(programs, options, all_settled);
+  result.flow_value = programs[static_cast<std::size_t>(sink)].excess();
+  return result;
+}
+
+}  // namespace dmf::congest

@@ -1,0 +1,47 @@
+// Basic graph algorithms: BFS, connectivity, diameter.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmf {
+
+inline constexpr int kUnreached = -1;
+
+// Hop distances from src (kUnreached where unreachable).
+std::vector<int> bfs_distances(const Graph& g, NodeId src);
+
+// BFS tree rooted at root: parent pointers, the graph edge to the parent,
+// hop depth, and the tree height (max depth over reached nodes).
+struct BfsTree {
+  NodeId root = kInvalidNode;
+  std::vector<NodeId> parent;      // parent[root] == kInvalidNode
+  std::vector<EdgeId> parent_edge; // kInvalidEdge at root / unreached
+  std::vector<int> depth;          // kUnreached where unreachable
+  int height = 0;
+};
+
+BfsTree build_bfs_tree(const Graph& g, NodeId root);
+
+// Connected components: labels in [0, count).
+struct Components {
+  std::vector<int> label;
+  int count = 0;
+};
+
+Components connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+// Exact hop diameter via BFS from every node. O(n·m); fine up to n ~ few
+// thousand. Requires a connected graph.
+int diameter_exact(const Graph& g);
+
+// Double-sweep lower bound on the hop diameter (exact on trees). O(m).
+int diameter_double_sweep(const Graph& g, NodeId start = 0);
+
+// Eccentricity of v (max hop distance to any node). Requires connectivity.
+int eccentricity(const Graph& g, NodeId v);
+
+}  // namespace dmf

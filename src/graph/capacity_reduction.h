@@ -1,0 +1,38 @@
+// Capacity-ratio reduction (footnote 1 of the paper).
+//
+// The algorithm assumes capacities are poly(n)-bounded integers. For an
+// approximate flow, a general instance reduces to this case in
+// Õ((√n + D) log C) rounds: estimate the max-flow scale from the
+// bottleneck structure, then (a) contract/saturate edges that are huge
+// relative to it and (b) drop edges that are negligibly small, keeping
+// the ratio C = cap_max / cap_min polynomial without changing the value
+// by more than a (1±eps) factor.
+//
+// We implement the clamping form: given terminals s,t and eps, compute
+// a 2-approximate value estimate F̂ from the bottleneck shortest-
+// augmenting capacity (max over paths of min edge cap <= maxflow <= m *
+// that), clamp capacities to [eps * F̂ / m, F̂ * m], and round to
+// integers at a resolution preserving 1±eps.
+#pragma once
+
+#include "graph/graph.h"
+
+namespace dmf {
+
+struct CapacityReductionResult {
+  Graph graph;          // same topology, clamped integer capacities
+  double scale = 1.0;   // multiply reduced capacities by this to recover
+                        // the original scale
+  double ratio_before = 1.0;
+  double ratio_after = 1.0;
+};
+
+// Bottleneck (widest-path) capacity between s and t: the max over paths
+// of the min edge capacity. Computable distributedly like BFS with
+// max-min relaxation; here O(m log n) Dijkstra-style.
+double widest_path_capacity(const Graph& g, NodeId s, NodeId t);
+
+CapacityReductionResult reduce_capacity_ratio(const Graph& g, NodeId s,
+                                              NodeId t, double eps);
+
+}  // namespace dmf

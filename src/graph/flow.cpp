@@ -1,0 +1,76 @@
+#include "graph/flow.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dmf {
+
+std::vector<double> flow_divergence(const Graph& g,
+                                    const std::vector<double>& flow) {
+  DMF_REQUIRE(flow.size() == static_cast<std::size_t>(g.num_edges()),
+              "flow_divergence: size mismatch");
+  std::vector<double> div(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const EdgeEndpoints ep = g.endpoints(e);
+    const double f = flow[static_cast<std::size_t>(e)];
+    div[static_cast<std::size_t>(ep.u)] += f;
+    div[static_cast<std::size_t>(ep.v)] -= f;
+  }
+  return div;
+}
+
+double flow_value(const Graph& g, const std::vector<double>& flow, NodeId s) {
+  double value = 0.0;
+  for (const AdjEntry& a : g.neighbors(s)) {
+    const EdgeEndpoints ep = g.endpoints(a.edge);
+    const double f = flow[static_cast<std::size_t>(a.edge)];
+    value += (ep.u == s) ? f : -f;
+  }
+  return value;
+}
+
+double max_congestion(const Graph& g, const std::vector<double>& flow) {
+  DMF_REQUIRE(flow.size() == static_cast<std::size_t>(g.num_edges()),
+              "max_congestion: size mismatch");
+  double worst = 0.0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    worst = std::max(worst, std::abs(flow[static_cast<std::size_t>(e)]) /
+                                g.capacity(e));
+  }
+  return worst;
+}
+
+bool is_feasible(const Graph& g, const std::vector<double>& flow, double tol) {
+  return max_congestion(g, flow) <= 1.0 + tol;
+}
+
+double max_conservation_violation(const Graph& g,
+                                  const std::vector<double>& flow, NodeId s,
+                                  NodeId t) {
+  const std::vector<double> div = flow_divergence(g, flow);
+  double worst = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == s || v == t) continue;
+    worst = std::max(worst, std::abs(div[static_cast<std::size_t>(v)]));
+  }
+  return worst;
+}
+
+double scale_to_feasible(const Graph& g, std::vector<double>& flow) {
+  const double cong = max_congestion(g, flow);
+  if (cong <= 1.0) return 1.0;
+  const double factor = 1.0 / cong;
+  for (double& f : flow) f *= factor;
+  return factor;
+}
+
+std::vector<double> st_demand(NodeId n, NodeId s, NodeId t, double value) {
+  DMF_REQUIRE(s >= 0 && s < n && t >= 0 && t < n && s != t,
+              "st_demand: bad terminals");
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  b[static_cast<std::size_t>(s)] = value;
+  b[static_cast<std::size_t>(t)] = -value;
+  return b;
+}
+
+}  // namespace dmf

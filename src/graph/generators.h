@@ -1,0 +1,70 @@
+// Graph generators for tests, examples, and the experiment harness.
+//
+// All generators return connected graphs and take an explicit Rng where
+// randomized. Capacities are integer-valued (stored as double), matching
+// the paper's poly(n)-bounded integer capacity model.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace dmf {
+
+// Uniform integer capacities in [lo, hi]; lo == hi gives fixed capacities.
+struct CapacityRange {
+  std::int64_t lo = 1;
+  std::int64_t hi = 1;
+};
+
+double draw_capacity(const CapacityRange& caps, Rng& rng);
+
+// width x height 4-neighbor grid.
+Graph make_grid(int width, int height, const CapacityRange& caps, Rng& rng);
+
+// width x height torus (wrap-around grid).
+Graph make_torus(int width, int height, const CapacityRange& caps, Rng& rng);
+
+// Erdős–Rényi G(n,p), made connected by linking components with random
+// extra edges if necessary.
+Graph make_gnp_connected(NodeId n, double p, const CapacityRange& caps,
+                         Rng& rng);
+
+// Random d-regular simple connected graph (pairing model with retries).
+// Requires n*d even, d >= 3 for connectivity w.h.p.
+Graph make_random_regular(NodeId n, int d, const CapacityRange& caps,
+                          Rng& rng);
+
+// Two cliques of size k joined by a single bridge edge — the classic
+// bad case for local flow algorithms; bridge capacity can differ.
+Graph make_barbell(int clique_size, const CapacityRange& clique_caps,
+                   double bridge_cap, Rng& rng);
+
+// Path on n nodes.
+Graph make_path(NodeId n, const CapacityRange& caps, Rng& rng);
+
+// Uniform random labeled tree (Prüfer-free random attachment).
+Graph make_random_tree(NodeId n, const CapacityRange& caps, Rng& rng);
+
+// Random tree plus `extra_chords` uniformly random non-tree edges.
+Graph make_tree_plus_chords(NodeId n, int extra_chords,
+                            const CapacityRange& caps, Rng& rng);
+
+// Complete graph K_n.
+Graph make_complete(NodeId n, const CapacityRange& caps, Rng& rng);
+
+// Caterpillar: a spine path of `spine` nodes, each with `legs` leaves.
+Graph make_caterpillar(int spine, int legs, const CapacityRange& caps,
+                       Rng& rng);
+
+// A "layered bottleneck" flow instance: `layers` layers of `width` nodes,
+// dense high-capacity connections between consecutive layers, except one
+// thin middle layer crossing whose total capacity is `bottleneck`.
+// Max s-t flow (s=0 meta-source side, t=last) is governed by the
+// bottleneck; good for approximation-quality experiments.
+Graph make_layered_bottleneck(int layers, int width, double dense_cap,
+                              double bottleneck, Rng& rng,
+                              NodeId* source, NodeId* sink);
+
+}  // namespace dmf

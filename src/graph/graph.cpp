@@ -1,0 +1,14 @@
+#include "graph/graph.h"
+
+#include <sstream>
+
+namespace dmf {
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "Graph(n=" << num_nodes() << ", m=" << num_edges()
+     << ", total_cap=" << total_capacity() << ")";
+  return os.str();
+}
+
+}  // namespace dmf

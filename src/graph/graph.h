@@ -1,0 +1,145 @@
+// Undirected, capacitated (multi)graph — the base structure of the library.
+//
+// Nodes are dense integer ids [0, num_nodes()). Edges are dense integer ids
+// [0, num_edges()) and carry a positive capacity. Parallel edges are
+// allowed (several constructions in the paper produce multigraphs);
+// self-loops are rejected. The adjacency structure is maintained
+// incrementally, so the graph can be built edge by edge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/require.h"
+
+namespace dmf {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+struct EdgeEndpoints {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+};
+
+// One adjacency entry: the neighbor reached and the edge used.
+struct AdjEntry {
+  NodeId to = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(NodeId num_nodes) { add_nodes(num_nodes); }
+
+  NodeId add_node() {
+    adjacency_.emplace_back();
+    return static_cast<NodeId>(adjacency_.size()) - 1;
+  }
+
+  void add_nodes(NodeId count) {
+    DMF_REQUIRE(count >= 0, "add_nodes: negative count");
+    adjacency_.resize(adjacency_.size() + static_cast<std::size_t>(count));
+  }
+
+  EdgeId add_edge(NodeId u, NodeId v, double capacity = 1.0) {
+    DMF_REQUIRE(is_valid_node(u) && is_valid_node(v), "add_edge: bad node");
+    DMF_REQUIRE(u != v, "add_edge: self-loops are not supported");
+    DMF_REQUIRE(capacity > 0.0, "add_edge: capacity must be positive");
+    const auto e = static_cast<EdgeId>(endpoints_.size());
+    endpoints_.push_back({u, v});
+    capacities_.push_back(capacity);
+    adjacency_[static_cast<std::size_t>(u)].push_back({v, e});
+    adjacency_[static_cast<std::size_t>(v)].push_back({u, e});
+    return e;
+  }
+
+  [[nodiscard]] NodeId num_nodes() const {
+    return static_cast<NodeId>(adjacency_.size());
+  }
+  [[nodiscard]] EdgeId num_edges() const {
+    return static_cast<EdgeId>(endpoints_.size());
+  }
+
+  [[nodiscard]] bool is_valid_node(NodeId v) const {
+    return v >= 0 && v < num_nodes();
+  }
+  [[nodiscard]] bool is_valid_edge(EdgeId e) const {
+    return e >= 0 && e < num_edges();
+  }
+
+  [[nodiscard]] EdgeEndpoints endpoints(EdgeId e) const {
+    DMF_ASSERT(is_valid_edge(e), "endpoints: bad edge");
+    return endpoints_[static_cast<std::size_t>(e)];
+  }
+
+  // The endpoint of e that is not v.
+  [[nodiscard]] NodeId other_endpoint(EdgeId e, NodeId v) const {
+    const EdgeEndpoints ep = endpoints(e);
+    DMF_ASSERT(ep.u == v || ep.v == v, "other_endpoint: v not on e");
+    return ep.u == v ? ep.v : ep.u;
+  }
+
+  [[nodiscard]] double capacity(EdgeId e) const {
+    DMF_ASSERT(is_valid_edge(e), "capacity: bad edge");
+    return capacities_[static_cast<std::size_t>(e)];
+  }
+
+  void set_capacity(EdgeId e, double capacity) {
+    DMF_REQUIRE(is_valid_edge(e), "set_capacity: bad edge");
+    DMF_REQUIRE(capacity > 0.0, "set_capacity: capacity must be positive");
+    capacities_[static_cast<std::size_t>(e)] = capacity;
+  }
+
+  [[nodiscard]] const std::vector<AdjEntry>& neighbors(NodeId v) const {
+    DMF_ASSERT(is_valid_node(v), "neighbors: bad node");
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId v) const {
+    return neighbors(v).size();
+  }
+
+  // Sum of capacities of edges incident to v.
+  [[nodiscard]] double weighted_degree(NodeId v) const {
+    double total = 0.0;
+    for (const AdjEntry& a : neighbors(v)) total += capacity(a.edge);
+    return total;
+  }
+
+  [[nodiscard]] double total_capacity() const {
+    double total = 0.0;
+    for (double c : capacities_) total += c;
+    return total;
+  }
+
+  [[nodiscard]] double max_capacity() const {
+    double mx = 0.0;
+    for (double c : capacities_) mx = c > mx ? c : mx;
+    return mx;
+  }
+
+  [[nodiscard]] double min_capacity() const {
+    double mn = capacities_.empty() ? 0.0 : capacities_.front();
+    for (double c : capacities_) mn = c < mn ? c : mn;
+    return mn;
+  }
+
+  [[nodiscard]] const std::vector<double>& capacities() const {
+    return capacities_;
+  }
+
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<std::vector<AdjEntry>> adjacency_;
+  std::vector<EdgeEndpoints> endpoints_;
+  std::vector<double> capacities_;
+};
+
+}  // namespace dmf

@@ -1,0 +1,32 @@
+// Graph serialization: DIMACS max-flow format (undirected interpretation)
+// and a simple whitespace edge-list format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace dmf {
+
+// A max-flow problem instance: a graph plus designated terminals.
+struct FlowInstance {
+  Graph graph;
+  NodeId source = kInvalidNode;
+  NodeId sink = kInvalidNode;
+};
+
+// DIMACS max format:
+//   c <comment>
+//   p max <n> <m>
+//   n <id> s | n <id> t       (1-based ids)
+//   a <u> <v> <cap>
+// Arcs (u,v) and (v,u) are merged into one undirected edge whose capacity
+// is the maximum of the two directions.
+FlowInstance read_dimacs(std::istream& in);
+FlowInstance read_dimacs_file(const std::string& path);
+
+void write_dimacs(std::ostream& out, const FlowInstance& instance);
+void write_dimacs_file(const std::string& path, const FlowInstance& instance);
+
+}  // namespace dmf

@@ -1,0 +1,73 @@
+#include "graph/multigraph.h"
+
+#include <queue>
+
+namespace dmf {
+
+Multigraph Multigraph::from_graph(const Graph& g) {
+  Multigraph mg(g.num_nodes());
+  mg.edges_.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const EdgeEndpoints ep = g.endpoints(e);
+    const double cap = g.capacity(e);
+    mg.add_edge({ep.u, ep.v, e, cap, 1.0 / cap, e});
+  }
+  return mg;
+}
+
+std::vector<std::vector<std::pair<NodeId, std::size_t>>>
+Multigraph::build_adjacency() const {
+  std::vector<std::vector<std::pair<NodeId, std::size_t>>> adj(
+      static_cast<std::size_t>(num_nodes_));
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const MultiEdge& e = edges_[i];
+    adj[static_cast<std::size_t>(e.u)].emplace_back(e.v, i);
+    adj[static_cast<std::size_t>(e.v)].emplace_back(e.u, i);
+  }
+  return adj;
+}
+
+Multigraph Multigraph::contract(const std::vector<NodeId>& mapping,
+                                NodeId new_num_nodes) const {
+  DMF_REQUIRE(mapping.size() == static_cast<std::size_t>(num_nodes_),
+              "Multigraph::contract: mapping size mismatch");
+  Multigraph out(new_num_nodes);
+  out.edges_.reserve(edges_.size());
+  for (const MultiEdge& e : edges_) {
+    const NodeId nu = mapping[static_cast<std::size_t>(e.u)];
+    const NodeId nv = mapping[static_cast<std::size_t>(e.v)];
+    DMF_REQUIRE(nu >= 0 && nu < new_num_nodes && nv >= 0 && nv < new_num_nodes,
+                "Multigraph::contract: mapped endpoint out of range");
+    if (nu == nv) continue;  // drop self-loops
+    MultiEdge ne = e;
+    ne.u = nu;
+    ne.v = nv;
+    out.edges_.push_back(ne);
+  }
+  return out;
+}
+
+bool Multigraph::is_connected() const {
+  if (num_nodes_ <= 1) return true;
+  const auto adj = build_adjacency();
+  std::vector<char> seen(static_cast<std::size_t>(num_nodes_), 0);
+  std::queue<NodeId> frontier;
+  seen[0] = 1;
+  frontier.push(0);
+  NodeId reached = 1;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const auto& [to, idx] : adj[static_cast<std::size_t>(v)]) {
+      (void)idx;
+      if (!seen[static_cast<std::size_t>(to)]) {
+        seen[static_cast<std::size_t>(to)] = 1;
+        ++reached;
+        frontier.push(to);
+      }
+    }
+  }
+  return reached == num_nodes_;
+}
+
+}  // namespace dmf

@@ -1,0 +1,84 @@
+// Capacitated multigraph with edge lengths and contraction support.
+//
+// The AKPW low-stretch spanning-tree algorithm (Section 7) and Madry's
+// j-tree construction (Section 8) operate on multigraphs obtained from a
+// base graph by assigning lengths and performing sequences of contractions.
+// Every multigraph edge remembers the base-graph edge it descends from, so
+// spanning trees computed on contracted graphs map back to real edges —
+// which is exactly the invariant the paper maintains ("every core edge is
+// also a graph edge").
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmf {
+
+// Sentinel for "no multigraph edge" (e.g. absent parent links).
+inline constexpr std::size_t kNoMultiEdge = static_cast<std::size_t>(-1);
+
+struct MultiEdge {
+  NodeId u = kInvalidNode;   // endpoints in the *current* node space
+  NodeId v = kInvalidNode;
+  EdgeId base_edge = kInvalidEdge;  // originating edge of the base graph
+  double cap = 1.0;
+  double length = 1.0;
+  // Caller-owned identity that survives contractions (from_graph sets it
+  // to the edge index). Lets algorithms on contracted copies report
+  // results in terms of the input multigraph's edges.
+  std::int64_t tag = -1;
+};
+
+class Multigraph {
+ public:
+  Multigraph() = default;
+  explicit Multigraph(NodeId num_nodes) : num_nodes_(num_nodes) {
+    DMF_REQUIRE(num_nodes >= 0, "Multigraph: negative node count");
+  }
+
+  // Lift a base graph: one multi-edge per graph edge, lengths = 1/cap
+  // (the canonical starting lengths of the Räcke/Madry constructions).
+  static Multigraph from_graph(const Graph& g);
+
+  [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  std::size_t add_edge(MultiEdge e) {
+    DMF_REQUIRE(e.u >= 0 && e.u < num_nodes_ && e.v >= 0 && e.v < num_nodes_,
+                "Multigraph::add_edge: endpoint out of range");
+    DMF_REQUIRE(e.u != e.v, "Multigraph::add_edge: self-loop");
+    DMF_REQUIRE(e.cap > 0.0 && e.length > 0.0,
+                "Multigraph::add_edge: cap and length must be positive");
+    edges_.push_back(e);
+    return edges_.size() - 1;
+  }
+
+  [[nodiscard]] const MultiEdge& edge(std::size_t i) const {
+    DMF_ASSERT(i < edges_.size(), "Multigraph::edge: bad index");
+    return edges_[i];
+  }
+  MultiEdge& edge_mutable(std::size_t i) {
+    DMF_ASSERT(i < edges_.size(), "Multigraph::edge_mutable: bad index");
+    return edges_[i];
+  }
+  [[nodiscard]] const std::vector<MultiEdge>& edges() const { return edges_; }
+
+  // Adjacency: for each node, (neighbor, edge index) pairs. Rebuilt on
+  // call; callers cache it across a phase.
+  [[nodiscard]] std::vector<std::vector<std::pair<NodeId, std::size_t>>>
+  build_adjacency() const;
+
+  // Contract according to `mapping` (old node -> new node in
+  // [0, new_num_nodes)). Self-loops are dropped; parallel edges are kept.
+  [[nodiscard]] Multigraph contract(const std::vector<NodeId>& mapping,
+                                    NodeId new_num_nodes) const;
+
+  [[nodiscard]] bool is_connected() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<MultiEdge> edges_;
+};
+
+}  // namespace dmf

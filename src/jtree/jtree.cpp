@@ -1,0 +1,432 @@
+#include "jtree/jtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace dmf {
+
+std::vector<double> tree_edge_loads_mg(const Multigraph& g,
+                                       const RootedTree& tree) {
+  const auto n = static_cast<std::size_t>(tree.num_nodes());
+  DMF_REQUIRE(static_cast<std::size_t>(g.num_nodes()) == n,
+              "tree_edge_loads_mg: node count mismatch");
+  const LcaIndex lca(tree);
+  std::vector<double> contribution(n, 0.0);
+  for (const MultiEdge& e : g.edges()) {
+    contribution[static_cast<std::size_t>(e.u)] += e.cap;
+    contribution[static_cast<std::size_t>(e.v)] += e.cap;
+    contribution[static_cast<std::size_t>(lca.lca(e.u, e.v))] -= 2.0 * e.cap;
+  }
+  std::vector<double> loads = subtree_sums(tree, contribution);
+  loads[static_cast<std::size_t>(tree.root)] = 0.0;
+  for (double& x : loads) {
+    if (x < 0.0 && x > -1e-9) x = 0.0;
+  }
+  return loads;
+}
+
+RootedTree build_rooted_tree_mg(const Multigraph& g,
+                                const std::vector<std::size_t>& edges,
+                                NodeId root) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  DMF_REQUIRE(root >= 0 && static_cast<std::size_t>(root) < n,
+              "build_rooted_tree_mg: bad root");
+  std::vector<std::vector<std::pair<NodeId, std::size_t>>> adj(n);
+  for (const std::size_t i : edges) {
+    const MultiEdge& e = g.edge(i);
+    adj[static_cast<std::size_t>(e.u)].emplace_back(e.v, i);
+    adj[static_cast<std::size_t>(e.v)].emplace_back(e.u, i);
+  }
+  RootedTree tree;
+  tree.root = root;
+  tree.parent.assign(n, kInvalidNode);
+  tree.parent_cap.assign(n, 0.0);
+  tree.parent_edge.assign(n, kInvalidEdge);
+  std::vector<char> seen(n, 0);
+  std::queue<NodeId> frontier;
+  seen[static_cast<std::size_t>(root)] = 1;
+  frontier.push(root);
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const auto& [to, idx] : adj[static_cast<std::size_t>(v)]) {
+      if (seen[static_cast<std::size_t>(to)]) continue;
+      seen[static_cast<std::size_t>(to)] = 1;
+      ++reached;
+      tree.parent[static_cast<std::size_t>(to)] = v;
+      tree.parent_cap[static_cast<std::size_t>(to)] = g.edge(idx).cap;
+      tree.parent_edge[static_cast<std::size_t>(to)] =
+          static_cast<EdgeId>(idx);  // multigraph edge index, by contract
+      frontier.push(to);
+    }
+  }
+  DMF_REQUIRE(reached == n, "build_rooted_tree_mg: edges do not span");
+  return tree;
+}
+
+namespace {
+
+// Dyadic class of a relative load: class i >= 1 iff
+// rload in (R/2^i, R/2^(i-1)].
+int rload_class(double rload, double max_rload) {
+  DMF_REQUIRE(rload > 0.0 && max_rload >= rload,
+              "rload_class: bad relative load");
+  const double ratio = max_rload / rload;
+  const int cls = 1 + static_cast<int>(std::floor(std::log2(ratio) - 1e-12));
+  return std::max(1, cls);
+}
+
+}  // namespace
+
+JTree build_jtree(const Multigraph& g, const RootedTree& tree,
+                  const std::vector<double>& cluster_size,
+                  const JTreeOptions& options, Rng& rng) {
+  const NodeId n = g.num_nodes();
+  const auto nn = static_cast<std::size_t>(n);
+  DMF_REQUIRE(cluster_size.size() == nn, "build_jtree: cluster size mismatch");
+  DMF_REQUIRE(options.j >= 1, "build_jtree: j must be >= 1");
+
+  JTree out;
+  out.forest_parent.assign(nn, kInvalidNode);
+  out.forest_cap.assign(nn, 0.0);
+  out.forest_edge.assign(nn, kNoMultiEdge);
+  out.portal.assign(nn, kInvalidNode);
+  out.is_portal.assign(nn, 0);
+  out.core = Multigraph(n);
+  out.tree_rload.assign(g.num_edges(), 0.0);
+
+  if (n <= 1) {
+    out.is_portal[0] = 1;
+    out.portal[0] = 0;
+    out.portal_count = 1;
+    return out;
+  }
+
+  // --- Loads and relative loads of tree links. ---
+  const std::vector<double> loads = tree_edge_loads_mg(g, tree);
+  std::vector<double> rload(nn, 0.0);
+  double max_rload = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == tree.root) continue;
+    const auto vi = static_cast<std::size_t>(v);
+    const auto link = static_cast<std::size_t>(tree.parent_edge[vi]);
+    const double cap = g.edge(link).cap;
+    DMF_REQUIRE(cap > 0.0, "build_jtree: tree link with zero capacity");
+    // The link's own edge crosses its cut, so load >= cap and rload >= 1.
+    rload[vi] = std::max(1.0, loads[vi] / cap);
+    max_rload = std::max(max_rload, rload[vi]);
+    out.tree_rload[link] = rload[vi];
+  }
+
+  // --- F': the <= j tree edges of top relative load (class rule). ---
+  std::vector<int> cls(nn, 0);
+  int num_classes = 1;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == tree.root) continue;
+    const auto vi = static_cast<std::size_t>(v);
+    cls[vi] = rload_class(rload[vi], max_rload);
+    num_classes = std::max(num_classes, cls[vi]);
+  }
+  std::vector<std::int64_t> class_count(
+      static_cast<std::size_t>(num_classes) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != tree.root) ++class_count[static_cast<std::size_t>(cls[
+        static_cast<std::size_t>(v)])];
+  }
+  const double min_big =
+      std::max(1.0, static_cast<double>(options.j) /
+                        static_cast<double>(std::max(1, num_classes)));
+  int i0 = -1;
+  std::int64_t cum = 0;
+  for (int i = 1; i <= num_classes; ++i) {
+    if (cum <= options.j &&
+        static_cast<double>(class_count[static_cast<std::size_t>(i)]) >=
+            min_big) {
+      i0 = i;
+      break;
+    }
+    cum += class_count[static_cast<std::size_t>(i)];
+    if (cum > options.j) break;
+  }
+  if (i0 == -1) {
+    // Fallback: the largest prefix of classes with total size <= j.
+    cum = 0;
+    i0 = 1;
+    for (int i = 1; i <= num_classes; ++i) {
+      if (cum + class_count[static_cast<std::size_t>(i)] >
+          static_cast<std::int64_t>(options.j)) {
+        break;
+      }
+      cum += class_count[static_cast<std::size_t>(i)];
+      i0 = i + 1;
+    }
+  }
+  std::vector<char> cut(nn, 0);  // F = F' u R, marked on the child node
+  for (NodeId v = 0; v < n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (v != tree.root && cls[vi] < i0) {
+      cut[vi] = 1;
+      ++out.f_prime_size;
+    }
+  }
+  DMF_REQUIRE(out.f_prime_size <= static_cast<std::size_t>(options.j),
+              "build_jtree: |F'| exceeded j");
+
+  // --- R: the Lemma 8.2 random cut set (shallow components). ---
+  if (options.sqrt_target > 0.0) {
+    for (NodeId v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (v == tree.root || cut[vi]) continue;
+      const double p = std::min(1.0, cluster_size[vi] / options.sqrt_target);
+      if (rng.next_bool(p)) {
+        cut[vi] = 1;
+        ++out.random_cut_size;
+      }
+    }
+  }
+
+  // --- Components of T \ F; primary portals. ---
+  const TreeOrder order = tree_order(tree);
+  std::vector<int> comp_tf(nn, -1);
+  int comp_tf_count = 0;
+  for (const NodeId v : order.topdown) {
+    const auto vi = static_cast<std::size_t>(v);
+    const NodeId p = tree.parent[vi];
+    if (p == kInvalidNode || cut[vi]) {
+      comp_tf[vi] = comp_tf_count++;
+    } else {
+      comp_tf[vi] = comp_tf[static_cast<std::size_t>(p)];
+    }
+  }
+  std::vector<char> p1(nn, 0);
+  bool any_cut = false;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (v != tree.root && cut[vi]) {
+      any_cut = true;
+      p1[vi] = 1;
+      p1[static_cast<std::size_t>(tree.parent[vi])] = 1;
+    }
+  }
+
+  // Forest adjacency of T \ F (parent links not cut).
+  std::vector<std::vector<NodeId>> fadj(nn);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const NodeId p = tree.parent[vi];
+    if (p != kInvalidNode && !cut[vi]) {
+      fadj[vi].push_back(p);
+      fadj[static_cast<std::size_t>(p)].push_back(v);
+    }
+  }
+
+  if (!any_cut) {
+    // F empty: J is the tree T itself; the root is the single portal.
+    for (NodeId v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      out.portal[vi] = tree.root;
+      if (v != tree.root) {
+        out.forest_parent[vi] = tree.parent[vi];
+        out.forest_cap[vi] = std::max(loads[vi], 1e-12);
+        out.forest_edge[vi] =
+            static_cast<std::size_t>(tree.parent_edge[vi]);
+      }
+    }
+    out.is_portal[static_cast<std::size_t>(tree.root)] = 1;
+    out.portal_count = 1;
+    out.max_forest_depth = order.height;
+    return out;
+  }
+
+  // --- Skeleton: strip non-portal degree-1 nodes. ---
+  std::vector<int> deg(nn, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    deg[static_cast<std::size_t>(v)] =
+        static_cast<int>(fadj[static_cast<std::size_t>(v)].size());
+  }
+  std::vector<char> stripped(nn, 0);
+  std::queue<NodeId> strip_queue;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (!p1[vi] && deg[vi] <= 1) strip_queue.push(v);
+  }
+  while (!strip_queue.empty()) {
+    const NodeId v = strip_queue.front();
+    strip_queue.pop();
+    const auto vi = static_cast<std::size_t>(v);
+    if (stripped[vi]) continue;
+    stripped[vi] = 1;
+    for (const NodeId u : fadj[vi]) {
+      const auto ui = static_cast<std::size_t>(u);
+      if (stripped[ui]) continue;
+      if (--deg[ui] <= 1 && !p1[ui]) strip_queue.push(u);
+    }
+  }
+  // Secondary portals: surviving junctions.
+  std::vector<char> is_portal = p1;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (!stripped[vi] && !p1[vi] && deg[vi] > 2) is_portal[vi] = 1;
+  }
+
+  // --- D: cut the min-capacity edge of every portal-free skeleton path.
+  // A link is identified by its child node in T.
+  const auto link_of = [&tree](NodeId a, NodeId b) {
+    return tree.parent[static_cast<std::size_t>(a)] == b ? a : b;
+  };
+  std::vector<char> link_visited(nn, 0);  // walked path links
+  std::vector<char> d_cut(nn, 0);         // links moved to D
+  for (NodeId p = 0; p < n; ++p) {
+    const auto pi = static_cast<std::size_t>(p);
+    if (!is_portal[pi] || stripped[pi]) continue;
+    for (const NodeId first : fadj[pi]) {
+      if (stripped[static_cast<std::size_t>(first)]) continue;
+      const NodeId first_link = link_of(p, first);
+      if (link_visited[static_cast<std::size_t>(first_link)]) continue;
+      // Walk through degree-2 non-portal skeleton nodes.
+      NodeId prev = p;
+      NodeId cur = first;
+      NodeId best_link = first_link;
+      double best_cap = std::max(loads[static_cast<std::size_t>(first_link)],
+                                 1e-12);
+      link_visited[static_cast<std::size_t>(first_link)] = 1;
+      while (!is_portal[static_cast<std::size_t>(cur)]) {
+        // Unique next skeleton neighbor != prev (cur has degree 2).
+        NodeId next = kInvalidNode;
+        for (const NodeId u : fadj[static_cast<std::size_t>(cur)]) {
+          if (u != prev && !stripped[static_cast<std::size_t>(u)]) {
+            next = u;
+            break;
+          }
+        }
+        DMF_REQUIRE(next != kInvalidNode,
+                    "build_jtree: skeleton path ended without portal");
+        const NodeId lk = link_of(cur, next);
+        link_visited[static_cast<std::size_t>(lk)] = 1;
+        const double cap = std::max(loads[static_cast<std::size_t>(lk)], 1e-12);
+        if (cap < best_cap) {
+          best_cap = cap;
+          best_link = lk;
+        }
+        prev = cur;
+        cur = next;
+      }
+      d_cut[static_cast<std::size_t>(best_link)] = 1;
+      ++out.d_size;
+    }
+  }
+
+  // --- Final components of T \ (F u D); exactly one portal each. ---
+  std::vector<int> comp_final(nn, -1);
+  int comp_final_count = 0;
+  for (const NodeId v : order.topdown) {
+    const auto vi = static_cast<std::size_t>(v);
+    const NodeId p = tree.parent[vi];
+    if (p == kInvalidNode || cut[vi] || d_cut[vi]) {
+      comp_final[vi] = comp_final_count++;
+    } else {
+      comp_final[vi] = comp_final[static_cast<std::size_t>(p)];
+    }
+  }
+  std::vector<NodeId> comp_portal(static_cast<std::size_t>(comp_final_count),
+                                  kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (!is_portal[vi]) continue;
+    auto& slot = comp_portal[static_cast<std::size_t>(comp_final[vi])];
+    DMF_REQUIRE(slot == kInvalidNode,
+                "build_jtree: component with two portals");
+    slot = v;
+  }
+  for (int c = 0; c < comp_final_count; ++c) {
+    DMF_REQUIRE(comp_portal[static_cast<std::size_t>(c)] != kInvalidNode,
+                "build_jtree: component without portal");
+  }
+  out.portal_count = comp_final_count;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    out.portal[vi] = comp_portal[static_cast<std::size_t>(comp_final[vi])];
+    out.is_portal[vi] = is_portal[vi];
+  }
+
+  // --- Re-root every component at its portal. ---
+  // Forest adjacency of T \ (F u D), annotated with the original child.
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> kadj(nn);  // (to, link)
+  for (NodeId v = 0; v < n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const NodeId p = tree.parent[vi];
+    if (p != kInvalidNode && !cut[vi] && !d_cut[vi]) {
+      kadj[vi].emplace_back(p, v);
+      kadj[static_cast<std::size_t>(p)].emplace_back(v, v);
+    }
+  }
+  std::vector<int> fdepth(nn, -1);
+  for (int c = 0; c < comp_final_count; ++c) {
+    const NodeId root = comp_portal[static_cast<std::size_t>(c)];
+    std::queue<NodeId> frontier;
+    fdepth[static_cast<std::size_t>(root)] = 0;
+    frontier.push(root);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      const auto vi = static_cast<std::size_t>(v);
+      out.max_forest_depth = std::max(out.max_forest_depth, fdepth[vi]);
+      for (const auto& [to, link] : kadj[vi]) {
+        const auto ti = static_cast<std::size_t>(to);
+        if (fdepth[ti] != -1) continue;
+        fdepth[ti] = fdepth[vi] + 1;
+        out.forest_parent[ti] = v;
+        out.forest_cap[ti] =
+            std::max(loads[static_cast<std::size_t>(link)], 1e-12);
+        out.forest_edge[ti] = static_cast<std::size_t>(
+            tree.parent_edge[static_cast<std::size_t>(link)]);
+        frontier.push(to);
+      }
+    }
+  }
+
+  // --- Core edges. ---
+  // (a) every multigraph edge crossing distinct T \ F components keeps its
+  //     own capacity (this includes the F links' underlying edges);
+  std::vector<char> is_forest_link(g.num_edges(), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (v != tree.root && !cut[vi]) {
+      is_forest_link[static_cast<std::size_t>(tree.parent_edge[vi])] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    const MultiEdge& e = g.edge(i);
+    if (comp_tf[static_cast<std::size_t>(e.u)] ==
+        comp_tf[static_cast<std::size_t>(e.v)]) {
+      continue;
+    }
+    DMF_REQUIRE(!is_forest_link[i], "build_jtree: forest link crosses comps");
+    MultiEdge ce = e;
+    ce.u = out.portal[static_cast<std::size_t>(e.u)];
+    ce.v = out.portal[static_cast<std::size_t>(e.v)];
+    DMF_REQUIRE(ce.u != ce.v, "build_jtree: core self-loop (crossing edge)");
+    ce.length = 1.0 / ce.cap;
+    out.core.add_edge(ce);
+  }
+  // (b) one edge per D element with the load capacity, mapped to the
+  //     deleted link's physical edge.
+  for (NodeId v = 0; v < n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (!d_cut[vi]) continue;
+    const auto link_idx = static_cast<std::size_t>(tree.parent_edge[vi]);
+    const MultiEdge& base = g.edge(link_idx);
+    MultiEdge ce = base;
+    ce.u = out.portal[vi];
+    ce.v = out.portal[static_cast<std::size_t>(tree.parent[vi])];
+    DMF_REQUIRE(ce.u != ce.v, "build_jtree: core self-loop (D edge)");
+    ce.cap = std::max(loads[vi], 1e-12);
+    ce.length = 1.0 / ce.cap;
+    out.core.add_edge(ce);
+  }
+  return out;
+}
+
+}  // namespace dmf

@@ -1,0 +1,90 @@
+// Madry's j-tree construction, adapted as in §4 / §8 of the paper.
+//
+// One invocation transforms a (cluster-)multigraph G together with a low
+// average-stretch spanning tree T into a 4j-tree J:
+//
+//   1. capacities capT(e) for e in T are the tree loads |f'(e)| of the
+//      canonical embedding of G into T (tree_edge_loads_mg);
+//   2. rload(e) = capT(e)/cap(e); the edge set F' of at most j tree edges
+//      with the largest relative loads is chosen via the dyadic class
+//      argument (minimal i0 with |F_i0| = Omega(j / log n) classes);
+//   3. the random set R (Lemma 8.2) is added to F = F' u R so that the
+//      resulting forest components have depth ~sqrt(n) when cluster sizes
+//      are accounted;
+//   4. components of T \ F define primary portals P1 (endpoints of F
+//      edges); iterative degree-1 stripping yields the skeleton, whose
+//      junctions become secondary portals P2; the minimum-capacity edge
+//      of every portal-free skeleton path is moved to D;
+//   5. the result: a forest T \ (F u D) whose trees each contain exactly
+//      one portal, plus a core multigraph on the portals containing (a)
+//      every G-edge crossing distinct T \ F components (original
+//      capacity) and (b) one edge per D element (capT capacity). Every
+//      core edge still maps to a physical graph edge (paper invariant 4).
+//
+// Lemmas 8.6/8.7: J and H(T,F) are mutually O(1)-embeddable; the test
+// suite and bench E10 verify the measured embedding congestion.
+#pragma once
+
+#include <vector>
+
+#include "graph/multigraph.h"
+#include "graph/tree.h"
+#include "util/rng.h"
+
+namespace dmf {
+
+// Tree loads for a rooted spanning tree of a multigraph: for every
+// non-root node v, the total capacity of multigraph edges with exactly
+// one endpoint in subtree(v). (Multigraph counterpart of
+// tree_edge_loads.)
+std::vector<double> tree_edge_loads_mg(const Multigraph& g,
+                                       const RootedTree& tree);
+
+struct JTreeOptions {
+  // Madry's j: |F'| <= j high-rload tree edges are promoted to the core.
+  int j = 1;
+  // Lemma 8.2 target: parent links are additionally cut with probability
+  // min(1, cluster_size / sqrt_target). <= 0 disables the random cut set.
+  double sqrt_target = 0.0;
+};
+
+struct JTree {
+  // Forest over the input multigraph's node space.
+  std::vector<NodeId> forest_parent;     // kInvalidNode at portals
+  std::vector<double> forest_cap;        // capT (load) of the parent link
+  std::vector<std::size_t> forest_edge;  // mg edge index of the link
+  std::vector<NodeId> portal;            // the unique portal of v's tree
+  std::vector<char> is_portal;
+  int portal_count = 0;
+
+  // Core multigraph on the same node space; edges connect portals only.
+  Multigraph core;
+
+  // Diagnostics for analysis / cost accounting.
+  std::size_t f_prime_size = 0;  // |F'|
+  std::size_t random_cut_size = 0;  // |R|
+  std::size_t d_size = 0;        // |D|
+  int max_forest_depth = 0;      // hop depth of the forest (node units)
+
+  // rload of every input edge that was a tree edge (0 elsewhere); used by
+  // the multiplicative-weights length update between trees.
+  std::vector<double> tree_rload;
+};
+
+// `tree` must be a spanning tree of g (e.g. from akpw_low_stretch_tree,
+// via tree_from_multigraph_edges over g's node space) whose parent_edge
+// entries index g's edges... NOTE: here parent_edge must store the
+// *multigraph edge index* (not base edge); use build_rooted_tree_mg below.
+// cluster_size[v] is the number of base-graph nodes represented by v
+// (all 1 at level 0).
+JTree build_jtree(const Multigraph& g, const RootedTree& tree,
+                  const std::vector<double>& cluster_size,
+                  const JTreeOptions& options, Rng& rng);
+
+// Rooted tree over g's node space from multigraph edge indices, where
+// parent_edge stores the multigraph edge index (needed by build_jtree).
+RootedTree build_rooted_tree_mg(const Multigraph& g,
+                                const std::vector<std::size_t>& edges,
+                                NodeId root);
+
+}  // namespace dmf

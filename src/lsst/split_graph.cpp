@@ -1,0 +1,173 @@
+#include "lsst/split_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <tuple>
+
+namespace dmf {
+
+namespace {
+
+struct Arrival {
+  int time = 0;
+  int source_rank = 0;  // index into this stage's source list (ties by id)
+  NodeId node = kInvalidNode;
+
+  bool operator>(const Arrival& other) const {
+    return std::tie(time, source_rank) >
+           std::tie(other.time, other.source_rank);
+  }
+};
+
+}  // namespace
+
+SplitResult split_graph(const Multigraph& g,
+                        const std::vector<char>& edge_allowed, double rho,
+                        Rng& rng) {
+  DMF_REQUIRE(edge_allowed.size() == g.num_edges(),
+              "split_graph: allowed mask size mismatch");
+  DMF_REQUIRE(rho >= 1.0, "split_graph: rho must be >= 1");
+  const NodeId n = g.num_nodes();
+  const auto nn = static_cast<std::size_t>(n);
+
+  // Allowed-edge adjacency.
+  std::vector<std::vector<std::pair<NodeId, std::size_t>>> adj(nn);
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    if (!edge_allowed[i]) continue;
+    const MultiEdge& e = g.edge(i);
+    adj[static_cast<std::size_t>(e.u)].emplace_back(e.v, i);
+    adj[static_cast<std::size_t>(e.v)].emplace_back(e.u, i);
+  }
+
+  SplitResult result;
+  result.cluster.assign(nn, -1);
+  result.parent.assign(nn, kInvalidNode);
+  result.parent_edge.assign(nn, kNoMultiEdge);
+
+  const int log_n =
+      std::max(1, static_cast<int>(std::ceil(std::log2(std::max<NodeId>(2, n)))));
+  const int stages = 2 * log_n;
+  const int delay_cap = std::max(0, static_cast<int>(rho) / stages);
+
+  std::vector<NodeId> uncovered;
+  uncovered.reserve(nn);
+  for (NodeId v = 0; v < n; ++v) uncovered.push_back(v);
+
+  for (int t = 1; t <= stages && !uncovered.empty(); ++t) {
+    // Budget for this stage.
+    const double budget_d =
+        rho * (1.0 - static_cast<double>(t - 1) / stages);
+    const int budget = std::max(0, static_cast<int>(std::floor(budget_d)));
+    result.rounds += budget_d;
+
+    // Source sampling (Figure 4 step 2a): fraction 12*2^(t/2)/n.
+    const double fraction =
+        12.0 * std::pow(2.0, static_cast<double>(t) / 2.0) /
+        static_cast<double>(std::max<NodeId>(1, n));
+    std::size_t want = static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(uncovered.size())));
+    want = std::clamp<std::size_t>(want, 1, uncovered.size());
+
+    const std::vector<std::size_t> picks =
+        rng.sample_indices(uncovered.size(), want);
+    std::vector<NodeId> sources;
+    sources.reserve(picks.size());
+    for (const std::size_t i : picks) sources.push_back(uncovered[i]);
+    std::sort(sources.begin(), sources.end());  // rank == id order
+
+    // Multi-source unit-length Dijkstra with per-source delays; first
+    // arrival (lexicographic (time, source rank)) claims a node.
+    std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>> queue;
+    std::vector<int> best_time(nn, -1);
+    std::vector<int> best_rank(nn, -1);
+    std::vector<int> stage_cluster(nn, -1);
+
+    for (std::size_t r = 0; r < sources.size(); ++r) {
+      const int delay =
+          std::min(static_cast<int>(rng.next_int(0, delay_cap)), budget);
+      queue.push({delay, static_cast<int>(r), sources[r]});
+    }
+    while (!queue.empty()) {
+      const Arrival a = queue.top();
+      queue.pop();
+      const auto vi = static_cast<std::size_t>(a.node);
+      if (stage_cluster[vi] != -1 || result.cluster[vi] != -1) continue;
+      if (a.time > budget) continue;
+      stage_cluster[vi] = a.source_rank;
+      best_time[vi] = a.time;
+      best_rank[vi] = a.source_rank;
+      for (const auto& [to, edge] : adj[vi]) {
+        const auto ti = static_cast<std::size_t>(to);
+        if (stage_cluster[ti] != -1 || result.cluster[ti] != -1) continue;
+        // Record the tree link on first improvement; the settled check
+        // above guarantees the final parent matches the winning arrival.
+        const int ntime = a.time + 1;
+        if (ntime > budget) continue;
+        if (best_time[ti] == -1 || ntime < best_time[ti] ||
+            (ntime == best_time[ti] && a.source_rank < best_rank[ti])) {
+          best_time[ti] = ntime;
+          best_rank[ti] = a.source_rank;
+          result.parent[ti] = a.node;
+          result.parent_edge[ti] = edge;
+          queue.push({ntime, a.source_rank, to});
+        }
+      }
+    }
+
+    // Commit stage clusters with global ids.
+    std::vector<int> stage_to_global(sources.size(), -1);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (stage_cluster[vi] == -1) continue;
+      auto& global = stage_to_global[static_cast<std::size_t>(stage_cluster[vi])];
+      if (global == -1) global = result.count++;
+      result.cluster[vi] = global;
+    }
+    // Cluster centers have no parent inside the cluster.
+    for (const NodeId s : sources) {
+      const auto si = static_cast<std::size_t>(s);
+      if (result.cluster[si] != -1 &&
+          stage_cluster[si] != -1) {
+        // Only reset if s claimed itself (it may have been grabbed by a
+        // neighboring source first).
+        if (result.parent[si] != kInvalidNode &&
+            stage_cluster[static_cast<std::size_t>(result.parent[si])] !=
+                stage_cluster[si]) {
+          // parent from an earlier relaxation that lost; clear it.
+          result.parent[si] = kInvalidNode;
+          result.parent_edge[si] = kNoMultiEdge;
+        }
+      }
+    }
+    // Rebuild uncovered list.
+    std::vector<NodeId> still;
+    for (const NodeId v : uncovered) {
+      if (result.cluster[static_cast<std::size_t>(v)] == -1) still.push_back(v);
+    }
+    uncovered.swap(still);
+  }
+
+  // Any stragglers (possible only if rho budgets truncate to 0) become
+  // singleton clusters.
+  for (const NodeId v : uncovered) {
+    result.cluster[static_cast<std::size_t>(v)] = result.count++;
+  }
+
+  // Repair parents: a node's parent must be its own cluster-mate claimed
+  // strictly earlier; arrivals guarantee this except for stale
+  // relaxations, which we clear (node becomes its cluster's center —
+  // cannot happen for non-source nodes, but be defensive).
+  for (NodeId v = 0; v < n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const NodeId p = result.parent[vi];
+    if (p != kInvalidNode &&
+        result.cluster[static_cast<std::size_t>(p)] != result.cluster[vi]) {
+      result.parent[vi] = kInvalidNode;
+      result.parent_edge[vi] = kNoMultiEdge;
+    }
+  }
+  return result;
+}
+
+}  // namespace dmf

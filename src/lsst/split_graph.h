@@ -1,0 +1,47 @@
+// Algorithm SplitGraph (Figure 4 of the paper; from Blelloch et al.):
+// a low-diameter decomposition of an unweighted (multi)graph by randomly
+// delayed parallel BFS.
+//
+// Stage t = 1..2logN samples a source set S_t among the still-uncovered
+// nodes (the sampling fraction grows ~2^(t/2), so the process provably
+// covers everything), gives each source a random start delay, and grows
+// BFS regions until the per-stage budget rho*(1 - (t-1)/(2logN)) runs
+// out. A node joins the cluster of the first BFS that reaches it (ties by
+// source id). Cluster radius is at most rho, and each edge is cut with
+// probability O(log N / rho) — the property Partition (partition.h)
+// checks per weight class.
+//
+// Distributed implementation note (§7): BFS growth maps 1:1 onto CONGEST
+// rounds (one hop per round, collisions resolved by id, no congestion
+// since each edge carries at most one winning traversal per direction);
+// the round cost charged for a run is O(rho * log N) per stage set.
+#pragma once
+
+#include <vector>
+
+#include "graph/multigraph.h"
+#include "util/rng.h"
+
+namespace dmf {
+
+struct SplitResult {
+  // Cluster label per node, in [0, count). Every node is covered.
+  std::vector<int> cluster;
+  // BFS-tree parent within the cluster (kInvalidNode at cluster centers).
+  std::vector<NodeId> parent;
+  // Multigraph edge index used to reach the parent (kNoMultiEdge at
+  // centers).
+  std::vector<std::size_t> parent_edge;
+  int count = 0;
+  // Simulated CONGEST rounds consumed (sum of per-stage BFS budgets).
+  double rounds = 0.0;
+};
+
+// Decompose g (restricted to edges with edge_allowed[i] != 0) with target
+// radius rho. Isolated nodes (w.r.t. allowed edges) become singleton
+// clusters.
+SplitResult split_graph(const Multigraph& g,
+                        const std::vector<char>& edge_allowed, double rho,
+                        Rng& rng);
+
+}  // namespace dmf

@@ -1,0 +1,203 @@
+#include "maxflow/almost_route.h"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+
+#include "graph/algorithms.h"
+#include "graph/flow.h"
+
+namespace dmf {
+
+namespace {
+
+// log sum_i (e^{x_i} + e^{-x_i}) over all entries of all vectors,
+// max-shifted for stability. Roots (zero-capacity links) are skipped via
+// the skip array; pass nullptr to use all entries.
+class SoftMax {
+ public:
+  void reset() {
+    max_abs_ = 0.0;
+    terms_.clear();
+  }
+  void add(double x) {
+    terms_.push_back(x);
+    max_abs_ = std::max(max_abs_, std::abs(x));
+  }
+  [[nodiscard]] double value() const {
+    double sum = 0.0;
+    for (const double x : terms_) {
+      sum += std::exp(x - max_abs_) + std::exp(-x - max_abs_);
+    }
+    return max_abs_ + std::log(sum);
+  }
+
+ private:
+  double max_abs_ = 0.0;
+  std::vector<double> terms_;
+};
+
+}  // namespace
+
+AlmostRouteResult almost_route(const Graph& g,
+                               const CongestionApproximator& approximator,
+                               const std::vector<double>& demand,
+                               const AlmostRouteOptions& options) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const auto m = static_cast<std::size_t>(g.num_edges());
+  DMF_REQUIRE(demand.size() == n, "almost_route: demand size mismatch");
+  DMF_REQUIRE(options.epsilon > 0.0 && options.epsilon <= 1.0,
+              "almost_route: epsilon in (0, 1] required");
+  const double alpha = std::max(1.0, options.alpha);
+  const double eps = options.epsilon;
+  const double log_n =
+      std::log(static_cast<double>(std::max<std::size_t>(2, n)));
+  const double target_potential = 16.0 * log_n / eps;
+
+  AlmostRouteResult result;
+  result.flow.assign(m, 0.0);
+
+  // --- Line 1: scale b so that 2 alpha ||Rb|| ~ target_potential. ---
+  std::vector<double> b = demand;
+  const double norm0 = approximator.congestion_norm(b);
+  if (norm0 <= 0.0) {
+    result.converged = true;
+    return result;  // nothing to route
+  }
+  const double kb = target_potential / (2.0 * alpha * norm0);
+  for (double& x : b) x *= kb;
+  double kf = 1.0;
+
+  const int diameter_rounds = 8;  // O(D) scalar aggregations per iteration
+  const double rounds_per_iter =
+      2.0 * approximator.rounds_per_application(diameter_rounds) +
+      diameter_rounds;
+
+  std::vector<double> gradient(m, 0.0);
+  std::vector<double> residual(n, 0.0);
+  std::vector<double> previous_flow(m, 0.0);  // for momentum
+  int momentum_age = 0;
+  double last_delta = std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    result.rounds += rounds_per_iter;
+
+    // Residual demand r = b - div(f).
+    const std::vector<double> div = flow_divergence(g, result.flow);
+    for (std::size_t v = 0; v < n; ++v) residual[v] = b[v] - div[v];
+
+    // phi_1 = smax(C^-1 f), phi_2 = smax(2 alpha R r).
+    SoftMax sm1;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      sm1.add(result.flow[static_cast<std::size_t>(e)] / g.capacity(e));
+    }
+    const double phi1 = sm1.value();
+
+    const std::vector<std::vector<double>> y =
+        approximator.apply(residual, 2.0 * alpha);
+    SoftMax sm2;
+    for (int t = 0; t < approximator.num_trees(); ++t) {
+      const RootedTree& tree = approximator.tree(t);
+      for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+        if (v != tree.root) {
+          sm2.add(y[static_cast<std::size_t>(t)][static_cast<std::size_t>(v)]);
+        }
+      }
+    }
+    const double phi2 = sm2.value();
+    result.potential = phi1 + phi2;
+
+    // --- Lines 4-5: rescale until phi >= 16 eps^-1 log n. ---
+    if (result.potential < target_potential) {
+      const double factor = 17.0 / 16.0;
+      for (double& f : result.flow) f *= factor;
+      for (double& x : b) x *= factor;
+      kf *= factor;
+      previous_flow = result.flow;  // momentum reset at scale changes
+      momentum_age = 0;
+      continue;  // re-evaluate phi at the new scale
+    }
+
+    // --- Gradient. ---
+    // phi_1 part: (e^{y_e - phi1} - e^{-y_e - phi1}) / cap(e).
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto ei = static_cast<std::size_t>(e);
+      const double ye = result.flow[ei] / g.capacity(e);
+      gradient[ei] = (std::exp(ye - phi1) - std::exp(-ye - phi1)) /
+                     g.capacity(e);
+    }
+    // phi_2 part via potentials: price of link (v -> parent) in tree t is
+    // 2 alpha (e^{y-phi2} - e^{-y-phi2}) / cap_T(link); then
+    // dphi2/df_e = pi_v - pi_u for e = (u, v).
+    std::vector<std::vector<double>> price(y.size());
+    for (int t = 0; t < approximator.num_trees(); ++t) {
+      const RootedTree& tree = approximator.tree(t);
+      const auto ti = static_cast<std::size_t>(t);
+      price[ti].assign(n, 0.0);
+      for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+        if (v == tree.root) continue;
+        const auto vi = static_cast<std::size_t>(v);
+        const double yv = y[ti][vi];
+        price[ti][vi] = 2.0 * alpha *
+                        (std::exp(yv - phi2) - std::exp(-yv - phi2)) /
+                        tree.parent_cap[vi];
+      }
+    }
+    const std::vector<double> pi = approximator.potentials(price);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const EdgeEndpoints ep = g.endpoints(e);
+      // r = b - Bf loses flow that leaves u and gains at v; the sign
+      // works out to pi_u - pi_v for flow oriented u -> v:
+      // pushing on e reduces residual demand at u and raises it at v.
+      gradient[static_cast<std::size_t>(e)] +=
+          pi[static_cast<std::size_t>(ep.v)] -
+          pi[static_cast<std::size_t>(ep.u)];
+    }
+
+    // --- Lines 6-11: step or terminate. ---
+    double delta = 0.0;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      delta += g.capacity(e) * std::abs(gradient[static_cast<std::size_t>(e)]);
+    }
+    result.final_delta = delta;
+    if (delta >= eps / 4.0) {
+      const double step = delta / (1.0 + 4.0 * alpha * alpha);
+      if (options.accelerate) {
+        // Adaptive restart: the sign-based step makes raw heavy-ball
+        // unstable, so momentum is dropped whenever the gradient norm
+        // grows (O'Donoghue-Candès-style restart) and beta is capped.
+        if (delta > last_delta) momentum_age = 0;
+        const double beta = std::min(
+            0.75, static_cast<double>(momentum_age) /
+                      (static_cast<double>(momentum_age) + 3.0));
+        ++momentum_age;
+        for (EdgeId e = 0; e < g.num_edges(); ++e) {
+          const auto ei = static_cast<std::size_t>(e);
+          const double sign = gradient[ei] > 0.0 ? 1.0 : -1.0;
+          const double next = result.flow[ei] - sign * g.capacity(e) * step +
+                              beta * (result.flow[ei] - previous_flow[ei]);
+          previous_flow[ei] = result.flow[ei];
+          result.flow[ei] = next;
+        }
+      } else {
+        for (EdgeId e = 0; e < g.num_edges(); ++e) {
+          const auto ei = static_cast<std::size_t>(e);
+          const double sign = gradient[ei] > 0.0 ? 1.0 : -1.0;
+          result.flow[ei] -= sign * g.capacity(e) * step;
+        }
+      }
+    } else {
+      result.converged = true;
+      break;
+    }
+    last_delta = delta;
+  }
+
+  // Undo the scaling: return a flow for the *original* b.
+  const double unscale = 1.0 / (kb * kf);
+  for (double& f : result.flow) f *= unscale;
+  return result;
+}
+
+}  // namespace dmf

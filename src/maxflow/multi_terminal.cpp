@@ -1,0 +1,57 @@
+#include "maxflow/multi_terminal.h"
+
+#include <algorithm>
+
+#include "graph/flow.h"
+
+namespace dmf {
+
+MultiTerminalMaxFlowResult approx_max_flow_multi(
+    const Graph& g, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& sinks, double epsilon, Rng& rng) {
+  DMF_REQUIRE(!sources.empty() && !sinks.empty(),
+              "approx_max_flow_multi: empty terminal set");
+  std::vector<char> is_source(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (const NodeId s : sources) {
+    DMF_REQUIRE(g.is_valid_node(s), "approx_max_flow_multi: bad source");
+    is_source[static_cast<std::size_t>(s)] = 1;
+  }
+  for (const NodeId t : sinks) {
+    DMF_REQUIRE(g.is_valid_node(t), "approx_max_flow_multi: bad sink");
+    DMF_REQUIRE(!is_source[static_cast<std::size_t>(t)],
+                "approx_max_flow_multi: terminal sets must be disjoint");
+  }
+
+  // Build the augmented graph with super-terminals.
+  Graph augmented(g.num_nodes() + 2);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const EdgeEndpoints ep = g.endpoints(e);
+    augmented.add_edge(ep.u, ep.v, g.capacity(e));
+  }
+  const NodeId super_s = g.num_nodes();
+  const NodeId super_t = g.num_nodes() + 1;
+  for (const NodeId s : sources) {
+    augmented.add_edge(super_s, s, std::max(1e-9, g.weighted_degree(s)));
+  }
+  for (const NodeId t : sinks) {
+    augmented.add_edge(t, super_t, std::max(1e-9, g.weighted_degree(t)));
+  }
+
+  ShermanOptions options;
+  options.epsilon = epsilon;
+  options.almost_route.epsilon = std::min(0.5, epsilon);
+  const ShermanSolver solver(augmented, options, rng);
+  const MaxFlowApproxResult raw = solver.max_flow(super_s, super_t);
+
+  MultiTerminalMaxFlowResult out;
+  out.value = raw.value;
+  out.rounds = raw.rounds;
+  out.converged = raw.converged;
+  // Project: the first g.num_edges() edges of `augmented` are exactly
+  // g's edges in order.
+  out.flow.assign(raw.flow.begin(),
+                  raw.flow.begin() + static_cast<std::ptrdiff_t>(g.num_edges()));
+  return out;
+}
+
+}  // namespace dmf

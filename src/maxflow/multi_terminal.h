@@ -1,0 +1,31 @@
+// Multi-source / multi-sink approximate maximum flow.
+//
+// The classic super-terminal reduction: add a virtual super-source wired
+// to every source (and symmetrically a super-sink), run the
+// single-commodity solver of Theorem 1.1, and project the flow back.
+// The virtual edges get capacity equal to the total incident capacity of
+// their terminal, so they are never the binding cut. In CONGEST terms
+// the virtual node is simulated by electing a leader among the sources
+// (flood-max, O(D) rounds) — the reduction adds no asymptotic cost.
+#pragma once
+
+#include <vector>
+
+#include "maxflow/sherman.h"
+
+namespace dmf {
+
+struct MultiTerminalMaxFlowResult {
+  double value = 0.0;
+  // Flow on the ORIGINAL graph's edges (virtual edges projected away).
+  std::vector<double> flow;
+  double rounds = 0.0;
+  bool converged = true;
+};
+
+// sources and sinks must be non-empty and disjoint.
+MultiTerminalMaxFlowResult approx_max_flow_multi(
+    const Graph& g, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& sinks, double epsilon, Rng& rng);
+
+}  // namespace dmf

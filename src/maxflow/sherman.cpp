@@ -1,0 +1,252 @@
+#include "maxflow/sherman.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "baselines/tree_routing.h"
+#include "cluster/boruvka.h"
+#include "congest/ledger.h"
+#include "graph/algorithms.h"
+#include "graph/flow.h"
+
+namespace dmf {
+
+ShermanSolver::ShermanSolver(const Graph& g, const ShermanOptions& options,
+                             Rng& rng)
+    : graph_(&g), options_(options) {
+  DMF_REQUIRE(g.num_nodes() >= 2, "ShermanSolver: need >= 2 nodes");
+  DMF_REQUIRE(is_connected(g), "ShermanSolver: graph must be connected");
+  const int num_trees =
+      options_.num_trees > 0
+          ? options_.num_trees
+          : static_cast<int>(std::ceil(
+                3.0 * std::log2(static_cast<double>(g.num_nodes()))));
+  std::vector<VirtualTreeSample> samples =
+      sample_virtual_trees(g, num_trees, options_.hierarchy, rng);
+  for (const VirtualTreeSample& sample : samples) {
+    build_rounds_ += sample.rounds;
+  }
+  approximator_ = std::make_unique<CongestionApproximator>(
+      CongestionApproximator::from_samples(std::move(samples)));
+  if (options_.alpha > 0.0) {
+    alpha_ = options_.alpha;
+  } else {
+    const AlphaEstimate est =
+        estimate_alpha(g, *approximator_, options_.alpha_samples, rng);
+    // The gradient descent needs alpha >= the true approximation factor;
+    // pad the sampled estimate. The clamp trades a little theoretical
+    // slack for bounded step sizes: iterations scale with alpha^2, and an
+    // occasional outlier estimate (a cut no sampled tree represents well)
+    // would otherwise stall the descent far beyond its value.
+    alpha_ = std::clamp(1.25 * est.alpha, 1.5, 12.0);
+  }
+  // Maximum-weight spanning tree for the Lemma 9.1 rerouting, built with
+  // the distributed Borůvka scheme; its rounds are part of the setup.
+  double mst_rounds = 0.0;
+  mwst_ = boruvka_max_weight_tree(g, 0, &mst_rounds);
+  build_rounds_ += mst_rounds;
+}
+
+RouteResult ShermanSolver::route(const std::vector<double>& demand) const {
+  const Graph& g = *graph_;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const auto m = static_cast<std::size_t>(g.num_edges());
+  DMF_REQUIRE(demand.size() == n, "route: demand size mismatch");
+  const double total = std::accumulate(demand.begin(), demand.end(), 0.0);
+  double scale_hint = 0.0;
+  for (const double d : demand) scale_hint = std::max(scale_hint, std::abs(d));
+  DMF_REQUIRE(std::abs(total) <= 1e-6 * (1.0 + scale_hint),
+              "route: demand must sum to zero");
+
+  const int max_calls =
+      options_.max_almost_route_calls > 0
+          ? options_.max_almost_route_calls
+          : static_cast<int>(std::ceil(std::log2(
+                static_cast<double>(std::max<std::size_t>(2, m))))) +
+                2;
+
+  RouteResult result;
+  result.flow.assign(m, 0.0);
+  std::vector<double> residual = demand;
+
+  AlmostRouteOptions ar = options_.almost_route;
+  ar.alpha = alpha_;
+  const double stop_threshold = 1e-7 * scale_hint;
+  for (int call = 0; call < max_calls; ++call) {
+    double residual_mass = 0.0;
+    for (const double r : residual) residual_mass += std::abs(r);
+    if (residual_mass <= stop_threshold) break;
+    const AlmostRouteResult step =
+        almost_route(g, *approximator_, residual, ar);
+    ++result.almost_route_calls;
+    result.gradient_iterations += step.iterations;
+    result.rounds += step.rounds;
+    result.converged = result.converged && step.converged;
+    for (std::size_t e = 0; e < m; ++e) {
+      result.flow[e] += step.flow[e];
+    }
+    const std::vector<double> div = flow_divergence(g, result.flow);
+    for (std::size_t v = 0; v < n; ++v) {
+      residual[v] = demand[v] - div[v];
+    }
+  }
+  // Lemma 9.1: reroute the leftover exactly through the max-weight
+  // spanning tree; afterwards the flow routes `demand` exactly.
+  const std::vector<double> tree_flow =
+      route_demand_on_spanning_tree(g, mwst_, residual);
+  for (std::size_t e = 0; e < m; ++e) result.flow[e] += tree_flow[e];
+  const congest::CostModel cost{.n = static_cast<int>(n),
+                                .diameter = build_bfs_tree(g, 0).height};
+  result.rounds += cost.pipelined(cost.sqrt_n());  // Lemma 9.1 accounting
+  result.congestion = max_congestion(g, result.flow);
+  return result;
+}
+
+MaxFlowApproxResult ShermanSolver::max_flow(NodeId s, NodeId t) const {
+  const Graph& g = *graph_;
+  DMF_REQUIRE(g.is_valid_node(s) && g.is_valid_node(t) && s != t,
+              "max_flow: bad terminals");
+  MaxFlowApproxResult out;
+  out.alpha = alpha_;
+  out.num_trees = approximator_->num_trees();
+  out.rounds = build_rounds_;
+
+  // Route a unit s-t demand with near-optimal congestion; homogeneity
+  // turns the congestion into a max-flow value.
+  const std::vector<double> b = st_demand(g.num_nodes(), s, t, 1.0);
+  const RouteResult routed = route(b);
+  out.gradient_iterations = routed.gradient_iterations;
+  out.rounds += routed.rounds;
+  out.converged = routed.converged;
+  DMF_REQUIRE(routed.congestion > 0.0, "max_flow: zero-congestion route");
+
+  out.flow = routed.flow;
+  const double lambda = 1.0 / routed.congestion;
+  for (double& f : out.flow) f *= lambda;
+  out.value = lambda;  // the flow routes lambda units s -> t, feasibly
+  return out;
+}
+
+MaxFlowApproxResult ShermanSolver::max_flow_binary_search(NodeId s,
+                                                          NodeId t) const {
+  const Graph& g = *graph_;
+  DMF_REQUIRE(g.is_valid_node(s) && g.is_valid_node(t) && s != t,
+              "max_flow_binary_search: bad terminals");
+  MaxFlowApproxResult out;
+  out.alpha = alpha_;
+  out.num_trees = approximator_->num_trees();
+  out.rounds = build_rounds_;
+
+  // Initial bracket from the congestion approximator: for the unit s-t
+  // demand, opt congestion is in [||Rb||, alpha ||Rb||], so the max flow
+  // lies in [1/(alpha ||Rb||), 1/||Rb||].
+  const std::vector<double> unit = st_demand(g.num_nodes(), s, t, 1.0);
+  const double norm = approximator_->congestion_norm(unit);
+  DMF_REQUIRE(norm > 0.0, "max_flow_binary_search: degenerate demand");
+  double lo = 1.0 / (alpha_ * norm);
+  double hi = 1.2 / norm;  // small headroom over the analytic bound
+  const double eps = options_.epsilon;
+
+  std::vector<double> best_flow;
+  double best_value = 0.0;
+  const int steps = std::max(
+      4, static_cast<int>(std::ceil(std::log2(alpha_ / std::max(eps, 1e-3)))));
+  for (int step = 0; step < steps; ++step) {
+    const double mid = 0.5 * (lo + hi);
+    const RouteResult routed = route(st_demand(g.num_nodes(), s, t, mid));
+    out.gradient_iterations += routed.gradient_iterations;
+    out.rounds += routed.rounds;
+    out.converged = out.converged && routed.converged;
+    if (routed.congestion <= 1.0 + 1e-9) {
+      if (mid > best_value) {
+        best_value = mid;
+        best_flow = routed.flow;
+      }
+      lo = mid;
+    } else {
+      // Still useful: scaling down by the congestion yields a feasible
+      // flow of value mid / congestion.
+      const double scaled = mid / routed.congestion;
+      if (scaled > best_value) {
+        best_value = scaled;
+        best_flow = routed.flow;
+        for (double& f : best_flow) f /= routed.congestion;
+      }
+      hi = mid;
+    }
+  }
+  DMF_REQUIRE(!best_flow.empty(), "max_flow_binary_search: no feasible flow");
+  out.value = best_value;
+  out.flow = std::move(best_flow);
+  return out;
+}
+
+ShermanSolver::ApproxMinCut ShermanSolver::approx_min_cut(NodeId s,
+                                                          NodeId t) const {
+  const Graph& g = *graph_;
+  DMF_REQUIRE(g.is_valid_node(s) && g.is_valid_node(t) && s != t,
+              "approx_min_cut: bad terminals");
+  const std::vector<double> b = st_demand(g.num_nodes(), s, t, 1.0);
+  // Find the tree link with the highest congestion under b; its subtree
+  // is the cut.
+  int best_tree = -1;
+  NodeId best_link = kInvalidNode;
+  double best_congestion = -1.0;
+  const CongestionApproximator& approx = *approximator_;
+  const auto y = approx.apply(b, 1.0);
+  for (int tr = 0; tr < approx.num_trees(); ++tr) {
+    const RootedTree& tree = approx.tree(tr);
+    for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+      if (v == tree.root) continue;
+      const double c = std::abs(
+          y[static_cast<std::size_t>(tr)][static_cast<std::size_t>(v)]);
+      if (c > best_congestion) {
+        best_congestion = c;
+        best_tree = tr;
+        best_link = v;
+      }
+    }
+  }
+  DMF_REQUIRE(best_tree >= 0, "approx_min_cut: no cut found");
+  // Mark subtree(best_link) of the winning tree.
+  const RootedTree& tree = approx.tree(best_tree);
+  const auto children = tree_children(tree);
+  std::vector<char> inside(static_cast<std::size_t>(g.num_nodes()), 0);
+  std::vector<NodeId> stack = {best_link};
+  while (!stack.empty()) {
+    const NodeId x = stack.back();
+    stack.pop_back();
+    inside[static_cast<std::size_t>(x)] = 1;
+    for (const NodeId c : children[static_cast<std::size_t>(x)]) {
+      stack.push_back(c);
+    }
+  }
+  ApproxMinCut cut;
+  // Orient so that the source side is marked.
+  const bool s_inside = inside[static_cast<std::size_t>(s)] != 0;
+  cut.source_side.assign(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const bool in = inside[static_cast<std::size_t>(v)] != 0;
+    cut.source_side[static_cast<std::size_t>(v)] = (in == s_inside) ? 1 : 0;
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const EdgeEndpoints ep = g.endpoints(e);
+    if (cut.source_side[static_cast<std::size_t>(ep.u)] !=
+        cut.source_side[static_cast<std::size_t>(ep.v)]) {
+      cut.capacity += g.capacity(e);
+    }
+  }
+  return cut;
+}
+
+MaxFlowApproxResult approx_max_flow(const Graph& g, NodeId s, NodeId t,
+                                    double epsilon, Rng& rng) {
+  ShermanOptions options;
+  options.epsilon = epsilon;
+  options.almost_route.epsilon = std::min(0.5, epsilon);
+  const ShermanSolver solver(g, options, rng);
+  return solver.max_flow(s, t);
+}
+
+}  // namespace dmf

@@ -1,0 +1,104 @@
+// Top-level (1+eps)-approximate max flow (Theorem 1.1; §9, Algorithm 1).
+//
+// route():    Algorithm 1 — iterate AlmostRoute on the remaining residual
+//             demand (each call shrinks it geometrically), then route the
+//             leftover exactly through a maximum-weight spanning tree
+//             (Lemma 9.1). The result routes b *exactly*.
+//
+// max_flow(): the reduction of §2 — route the unit s-t demand with
+//             near-optimal congestion; by homogeneity of congestion
+//             minimization, scaling the resulting exact unit flow by
+//             1/congestion yields a feasible s-t flow of value
+//             1/congestion >= (1-eps) * maxflow. A binary search over the
+//             demand value F (the paper's formulation) is provided as
+//             well and used by the experiments for cross-validation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "capprox/approximator.h"
+#include "capprox/hierarchy.h"
+#include "graph/graph.h"
+#include "maxflow/almost_route.h"
+
+namespace dmf {
+
+struct ShermanOptions {
+  double epsilon = 0.25;        // target approximation quality
+  int num_trees = 0;            // sampled virtual trees; 0 = 2 ceil(log2 n)
+  double alpha = 0.0;           // 0 = estimate empirically after sampling
+  int alpha_samples = 12;       // s-t pairs used by the alpha estimate
+  int max_almost_route_calls = 0;  // 0 = ceil(log2 m) + 2
+  AlmostRouteOptions almost_route;
+  HierarchyOptions hierarchy;
+};
+
+struct RouteResult {
+  std::vector<double> flow;  // routes the requested demand exactly
+  double congestion = 0.0;   // max_e |f_e| / cap_e
+  int almost_route_calls = 0;
+  int gradient_iterations = 0;
+  double rounds = 0.0;
+  bool converged = true;
+};
+
+struct MaxFlowApproxResult {
+  double value = 0.0;
+  std::vector<double> flow;  // feasible s-t flow of the reported value
+  double alpha = 0.0;        // approximator quality used
+  int num_trees = 0;
+  int gradient_iterations = 0;
+  double rounds = 0.0;  // total accounted CONGEST rounds (incl. R build)
+  bool converged = true;
+};
+
+// A solver bundles the sampled congestion approximator (expensive, built
+// once) with the routing routines (cheap per call).
+class ShermanSolver {
+ public:
+  ShermanSolver(const Graph& g, const ShermanOptions& options, Rng& rng);
+
+  // Route an arbitrary demand vector (sum ~ 0) exactly; near-optimal
+  // congestion.
+  [[nodiscard]] RouteResult route(const std::vector<double>& demand) const;
+
+  // (1+eps)-approximate maximum s-t flow.
+  [[nodiscard]] MaxFlowApproxResult max_flow(NodeId s, NodeId t) const;
+
+  // The paper's §2 formulation: binary search over the demand value F,
+  // testing each candidate by routing F units and checking feasibility.
+  // Cross-validates max_flow(); costs O(log(alpha/eps)) route() calls.
+  [[nodiscard]] MaxFlowApproxResult max_flow_binary_search(NodeId s,
+                                                           NodeId t) const;
+
+  // Approximate minimum s-t cut: the most congested tree cut under the
+  // unit s-t demand. Its capacity is within a factor alpha of the true
+  // min cut (max-flow min-cut + Lemma 3.3), and it is always a valid
+  // separating cut.
+  struct ApproxMinCut {
+    double capacity = 0.0;
+    std::vector<char> source_side;
+  };
+  [[nodiscard]] ApproxMinCut approx_min_cut(NodeId s, NodeId t) const;
+
+  [[nodiscard]] const CongestionApproximator& approximator() const {
+    return *approximator_;
+  }
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double build_rounds() const { return build_rounds_; }
+
+ private:
+  const Graph* graph_;
+  ShermanOptions options_;
+  std::unique_ptr<CongestionApproximator> approximator_;
+  RootedTree mwst_;  // max-weight spanning tree for residual rerouting
+  double alpha_ = 2.0;
+  double build_rounds_ = 0.0;
+};
+
+// One-shot convenience wrapper.
+MaxFlowApproxResult approx_max_flow(const Graph& g, NodeId s, NodeId t,
+                                    double epsilon, Rng& rng);
+
+}  // namespace dmf

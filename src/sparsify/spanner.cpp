@@ -1,0 +1,138 @@
+#include "sparsify/spanner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace dmf {
+
+namespace {
+
+// (length, tag) lexicographic comparison for "lightest edge" with
+// deterministic tie-breaking.
+struct EdgeKey {
+  double length = 0.0;
+  std::int64_t tie = 0;
+
+  bool operator<(const EdgeKey& other) const {
+    if (length != other.length) return length < other.length;
+    return tie < other.tie;
+  }
+};
+
+}  // namespace
+
+SpannerResult baswana_sen_spanner(const Multigraph& g, int levels, Rng& rng) {
+  const NodeId n = g.num_nodes();
+  const auto nn = static_cast<std::size_t>(n);
+  SpannerResult result;
+  if (n <= 1 || g.num_edges() == 0) return result;
+  if (levels <= 0) {
+    levels = std::max(
+        1, static_cast<int>(std::ceil(std::log2(static_cast<double>(n)))));
+  }
+
+  // cluster[v]: current cluster id (== a node id acting as center), or
+  // kInvalidNode once v has retired.
+  std::vector<NodeId> cluster(nn);
+  for (NodeId v = 0; v < n; ++v) cluster[static_cast<std::size_t>(v)] = v;
+
+  std::vector<char> edge_in_spanner(g.num_edges(), 0);
+  const auto add_edge = [&](std::size_t i) {
+    if (!edge_in_spanner[i]) {
+      edge_in_spanner[i] = 1;
+      result.edges.push_back(i);
+    }
+  };
+
+  const auto adjacency = g.build_adjacency();
+
+  for (int level = 1; level <= levels; ++level) {
+    result.rounds += 1.0;
+    // Sample surviving clusters with probability 1/2.
+    std::map<NodeId, char> marked;  // cluster id -> sampled?
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId c = cluster[static_cast<std::size_t>(v)];
+      if (c != kInvalidNode && marked.find(c) == marked.end()) {
+        marked[c] = rng.next_bool(0.5) ? 1 : 0;
+      }
+    }
+
+    std::vector<NodeId> next_cluster = cluster;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      const NodeId own = cluster[vi];
+      if (own == kInvalidNode) continue;       // retired
+      if (marked.at(own)) continue;            // cluster survives as is
+      // v's cluster died: find the lightest edge to every adjacent
+      // cluster, and the lightest edge into a *sampled* cluster.
+      std::map<NodeId, std::pair<EdgeKey, std::size_t>> lightest;
+      for (const auto& [to, idx] : adjacency[vi]) {
+        const NodeId c = cluster[static_cast<std::size_t>(to)];
+        if (c == kInvalidNode || c == own) continue;
+        const EdgeKey key{g.edge(idx).length, g.edge(idx).tag};
+        auto it = lightest.find(c);
+        if (it == lightest.end() || key < it->second.first) {
+          lightest[c] = {key, idx};
+        }
+      }
+      // Lightest edge into a sampled cluster, if any.
+      bool has_sampled = false;
+      EdgeKey best_key;
+      std::size_t best_edge = 0;
+      NodeId best_cluster = kInvalidNode;
+      for (const auto& [c, entry] : lightest) {
+        if (!marked.at(c)) continue;
+        if (!has_sampled || entry.first < best_key) {
+          has_sampled = true;
+          best_key = entry.first;
+          best_edge = entry.second;
+          best_cluster = c;
+        }
+      }
+      if (!has_sampled) {
+        // Keep the lightest edge to every adjacent cluster and retire.
+        for (const auto& [c, entry] : lightest) {
+          (void)c;
+          add_edge(entry.second);
+        }
+        next_cluster[vi] = kInvalidNode;
+      } else {
+        // Join the closest sampled cluster; keep strictly lighter edges.
+        add_edge(best_edge);
+        next_cluster[vi] = best_cluster;
+        for (const auto& [c, entry] : lightest) {
+          (void)c;
+          if (entry.first < best_key) add_edge(entry.second);
+        }
+      }
+    }
+    cluster.swap(next_cluster);
+  }
+
+  // Final step: every surviving node keeps the lightest edge to each
+  // adjacent (distinct) cluster.
+  result.rounds += 1.0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    std::map<NodeId, std::pair<EdgeKey, std::size_t>> lightest;
+    for (const auto& [to, idx] : adjacency[vi]) {
+      const NodeId c = cluster[static_cast<std::size_t>(to)];
+      const NodeId own = cluster[vi];
+      if (c == kInvalidNode || (own != kInvalidNode && c == own)) continue;
+      const EdgeKey key{g.edge(idx).length, g.edge(idx).tag};
+      auto it = lightest.find(c);
+      if (it == lightest.end() || key < it->second.first) {
+        lightest[c] = {key, idx};
+      }
+    }
+    for (const auto& [c, entry] : lightest) {
+      (void)c;
+      add_edge(entry.second);
+    }
+  }
+  std::sort(result.edges.begin(), result.edges.end());
+  return result;
+}
+
+}  // namespace dmf

@@ -1,0 +1,33 @@
+// Baswana–Sen randomized O(log N)-spanner (Figure 3 of the paper).
+//
+// Works on weighted (multi)graphs; the weight minimized along spanner
+// paths is the MultiEdge::length field (callers sparsifying a capacitated
+// graph set length = 1/cap so that heavy edges look short). The expected
+// spanner size is O(N log N) edges with stretch O(log N).
+//
+// Level i = 1..levels: clusters are sampled with probability 1/2; a node
+// whose cluster dies either connects to its lightest neighbor in a
+// sampled cluster (joining it, and keeping all strictly lighter
+// inter-cluster edges) or, if none is adjacent, keeps the lightest edge
+// to every adjacent cluster and retires. After the last level every
+// surviving node keeps the lightest edge to each adjacent cluster.
+#pragma once
+
+#include <vector>
+
+#include "graph/multigraph.h"
+#include "util/rng.h"
+
+namespace dmf {
+
+struct SpannerResult {
+  std::vector<std::size_t> edges;  // indices into the input multigraph
+  // Simulated CONGEST rounds (the BS algorithm runs in O(levels) cluster-
+  // graph steps; Lemma 6.1 charges O((D + sqrt(n)) polylog) per step).
+  double rounds = 0.0;
+};
+
+// levels <= 0 selects ceil(log2 N).
+SpannerResult baswana_sen_spanner(const Multigraph& g, int levels, Rng& rng);
+
+}  // namespace dmf

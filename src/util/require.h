@@ -1,0 +1,44 @@
+// Precondition / invariant checking.
+//
+// DMF_REQUIRE is always on (also in release builds): this library is a
+// research artifact and silent corruption is worse than a crash.
+// DMF_ASSERT compiles out in NDEBUG builds and is for hot inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dmf {
+
+class RequirementError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void require_fail(const char* cond, const char* file,
+                                      int line, const std::string& message) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement failed: " << cond;
+  if (!message.empty()) os << " — " << message;
+  throw RequirementError(os.str());
+}
+}  // namespace detail
+
+}  // namespace dmf
+
+#define DMF_REQUIRE(cond, message)                                    \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::dmf::detail::require_fail(#cond, __FILE__, __LINE__, (message)); \
+    }                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define DMF_ASSERT(cond, message) \
+  do {                            \
+  } while (false)
+#else
+#define DMF_ASSERT(cond, message) DMF_REQUIRE(cond, message)
+#endif

@@ -1,0 +1,59 @@
+// Small summary-statistics helpers used by benchmarks and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/require.h"
+
+namespace dmf {
+
+// Streaming summary of a sequence of doubles (Welford's algorithm).
+class Summary {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Quantile of a sample (linear interpolation); q in [0,1].
+inline double quantile(std::vector<double> xs, double q) {
+  DMF_REQUIRE(!xs.empty(), "quantile of empty sample");
+  DMF_REQUIRE(q >= 0.0 && q <= 1.0, "quantile level out of range");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+inline double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
+
+}  // namespace dmf

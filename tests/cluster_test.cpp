@@ -1,0 +1,157 @@
+// Tests for distributed cluster graphs (Definition 5.1) and the
+// Lemma 5.1-style cluster-round simulation on the message simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cluster_graph.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/tree.h"
+#include "util/rng.h"
+
+namespace dmf {
+namespace {
+
+// Partition a grid into column-pair stripes (connected clusters).
+std::vector<int> stripe_partition(int width, int height, int stripe) {
+  std::vector<int> cluster(static_cast<std::size_t>(width) * height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      cluster[static_cast<std::size_t>(y * width + x)] = x / stripe;
+    }
+  }
+  return cluster;
+}
+
+TEST(ClusterGraph, ValidatesStripePartition) {
+  Rng rng(701);
+  const Graph g = make_grid(8, 5, {1, 3}, rng);
+  const ClusterGraph cg = make_cluster_graph(g, stripe_partition(8, 5, 2));
+  cg.validate();
+  EXPECT_EQ(cg.count, 4);
+  for (int c = 0; c < cg.count; ++c) EXPECT_EQ(cg.cluster_size(c), 10);
+}
+
+TEST(ClusterGraph, SingletonPartition) {
+  Rng rng(709);
+  const Graph g = make_gnp_connected(20, 0.2, {1, 5}, rng);
+  std::vector<int> singletons(20);
+  for (int v = 0; v < 20; ++v) singletons[static_cast<std::size_t>(v)] = v;
+  const ClusterGraph cg = make_cluster_graph(g, singletons);
+  cg.validate();
+  EXPECT_EQ(cg.count, 20);
+  EXPECT_EQ(cg.max_tree_depth(), 0);
+  // Every graph edge becomes a cluster edge.
+  EXPECT_EQ(cg.edges.num_edges(), static_cast<std::size_t>(g.num_edges()));
+}
+
+TEST(ClusterGraph, WholeGraphIsOneCluster) {
+  Rng rng(719);
+  const Graph g = make_grid(5, 5, {1, 2}, rng);
+  const ClusterGraph cg =
+      make_cluster_graph(g, std::vector<int>(25, 0));
+  cg.validate();
+  EXPECT_EQ(cg.count, 1);
+  EXPECT_EQ(cg.edges.num_edges(), 0u);
+  EXPECT_GT(cg.max_tree_depth(), 0);
+}
+
+TEST(ClusterGraph, RejectsDisconnectedCluster) {
+  Rng rng(727);
+  const Graph g = make_path(4, {1, 1}, rng);
+  // Cluster {0, 2} is not connected.
+  EXPECT_THROW(make_cluster_graph(g, {0, 1, 0, 1}), RequirementError);
+}
+
+TEST(ClusterGraph, PsiEdgesAreReal) {
+  Rng rng(733);
+  const Graph g = make_gnp_connected(30, 0.15, {1, 4}, rng);
+  // Two-block partition by BFS depth parity — must be connected blocks;
+  // use stripes by BFS layers instead: take distances from node 0 and
+  // split at the median (both sides connected? not guaranteed) — use
+  // decompose_tree_random for a guaranteed-connected partition.
+  const RootedTree tree = bfs_spanning_tree(g, 0);
+  TreeDecomposition dec = decompose_tree_random(tree, 3.0, rng);
+  const ClusterGraph cg = make_cluster_graph(g, dec.component);
+  cg.validate();
+  for (const MultiEdge& e : cg.edges.edges()) {
+    const EdgeEndpoints ep = g.endpoints(e.base_edge);
+    EXPECT_NE(cg.cluster_of[static_cast<std::size_t>(ep.u)],
+              cg.cluster_of[static_cast<std::size_t>(ep.v)]);
+  }
+}
+
+TEST(ClusterExchange, SumsNeighborTokens) {
+  Rng rng(739);
+  const Graph g = make_grid(6, 4, {1, 3}, rng);
+  const ClusterGraph cg = make_cluster_graph(g, stripe_partition(6, 4, 2));
+  cg.validate();
+  std::vector<double> tokens = {1.0, 2.0, 4.0};
+  const ClusterExchangeResult result = simulate_cluster_exchange(cg, tokens);
+  // Stripe c neighbors stripes c-1 and c+1, with 4 parallel edges each.
+  // received_sum counts multiplicity (one message per psi edge).
+  EXPECT_NEAR(result.received_sum[0], 4 * 2.0, 1e-3);
+  EXPECT_NEAR(result.received_sum[1], 4 * 1.0 + 4 * 4.0, 1e-3);
+  EXPECT_NEAR(result.received_sum[2], 4 * 2.0, 1e-3);
+}
+
+TEST(ClusterExchange, RoundsBoundedByTreeDepth) {
+  // Lemma 5.1: one cluster-graph round costs O(depth) network rounds
+  // (plus the global pipelining for large clusters, covered by the
+  // pipelined-broadcast tests).
+  Rng rng(743);
+  const Graph g = make_grid(12, 8, {1, 2}, rng);
+  const ClusterGraph cg = make_cluster_graph(g, stripe_partition(12, 8, 3));
+  const int dmax = cg.max_tree_depth();
+  const ClusterExchangeResult result =
+      simulate_cluster_exchange(cg, std::vector<double>(cg.count, 1.0));
+  EXPECT_TRUE(result.stats.all_halted);
+  EXPECT_LE(result.stats.rounds, 2 * dmax + 6);
+}
+
+TEST(ClusterExchange, SingletonClustersActLikePlainExchange) {
+  Rng rng(751);
+  const Graph g = make_complete(6, {1, 1}, rng);
+  std::vector<int> singletons(6);
+  for (int v = 0; v < 6; ++v) singletons[static_cast<std::size_t>(v)] = v;
+  const ClusterGraph cg = make_cluster_graph(g, singletons);
+  std::vector<double> tokens = {1, 2, 3, 4, 5, 6};
+  const ClusterExchangeResult result = simulate_cluster_exchange(cg, tokens);
+  // Each node receives the sum of all other tokens.
+  for (int c = 0; c < 6; ++c) {
+    EXPECT_NEAR(result.received_sum[static_cast<std::size_t>(c)],
+                21.0 - tokens[static_cast<std::size_t>(c)], 1e-3);
+  }
+}
+
+// Parameterized: random tree-decomposition partitions across families
+// validate and exchange correctly.
+class ClusterFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterFamilies, ValidAndExchanges) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 3571 + 29);
+  Graph g;
+  switch (GetParam() % 3) {
+    case 0: g = make_gnp_connected(40, 0.1, {1, 4}, rng); break;
+    case 1: g = make_grid(7, 6, {1, 4}, rng); break;
+    default: g = make_random_tree(40, {1, 4}, rng); break;
+  }
+  const RootedTree tree = bfs_spanning_tree(g, 0);
+  const TreeDecomposition dec = decompose_tree_random(
+      tree, std::sqrt(static_cast<double>(g.num_nodes())), rng);
+  const ClusterGraph cg = make_cluster_graph(g, dec.component);
+  cg.validate();
+  const ClusterExchangeResult result =
+      simulate_cluster_exchange(cg, std::vector<double>(cg.count, 1.0));
+  EXPECT_TRUE(result.stats.all_halted);
+  // Total received across clusters = 2 * number of cluster edges.
+  double total = 0.0;
+  for (const double s : result.received_sum) total += s;
+  EXPECT_NEAR(total, 2.0 * static_cast<double>(cg.edges.num_edges()), 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ClusterFamilies, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace dmf

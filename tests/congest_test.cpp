@@ -1,0 +1,292 @@
+// Tests for the CONGEST simulator and the primitive node programs:
+// correctness of the computed structures AND the round bounds the paper's
+// cost accounting relies on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/dinic.h"
+#include "congest/ledger.h"
+#include "congest/network.h"
+#include "congest/programs.h"
+#include "congest/push_relabel_dist.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace dmf::congest {
+namespace {
+
+TEST(Network, BandwidthBudgetEnforced) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+
+  struct Oversender {
+    void start(NodeContext& ctx) {
+      if (ctx.id() == 0) {
+        Message big;
+        big.words.assign(kMaxWordsPerMessage + 1, 0);
+        ctx.send(0, big);
+      }
+    }
+    void round(NodeContext&) {}
+  };
+  Network net(g);
+  std::vector<Oversender> programs(2);
+  EXPECT_THROW(net.run(programs), RequirementError);
+}
+
+TEST(Network, OneMessagePerEdgePerRound) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+
+  struct DoubleSender {
+    void start(NodeContext& ctx) {
+      if (ctx.id() == 0) {
+        ctx.send(0, Message{1});
+        ctx.send(0, Message{2});  // must throw
+      }
+    }
+    void round(NodeContext&) {}
+  };
+  Network net(g);
+  std::vector<DoubleSender> programs(2);
+  EXPECT_THROW(net.run(programs), RequirementError);
+}
+
+TEST(Network, QuiescenceStopsRun) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  struct Silent {
+    void start(NodeContext&) {}
+    void round(NodeContext&) {}
+  };
+  Network net(g);
+  std::vector<Silent> programs(2);
+  const RunStats stats = net.run(programs);
+  EXPECT_LE(stats.rounds, 3);
+  EXPECT_EQ(stats.messages, 0);
+}
+
+TEST(Network, DeterministicTranscripts) {
+  Rng rng(101);
+  const Graph g = make_gnp_connected(40, 0.1, {1, 5}, rng);
+  const DistributedBfsResult a = run_distributed_bfs(g, 7);
+  const DistributedBfsResult b = run_distributed_bfs(g, 7);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.stats.messages, b.stats.messages);
+  EXPECT_EQ(a.parent_port, b.parent_port);
+}
+
+TEST(DistributedBfs, DepthsMatchCentralizedBfs) {
+  Rng rng(103);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = make_gnp_connected(50, 0.08, {1, 3}, rng);
+    const NodeId root = static_cast<NodeId>(rng.next_below(50));
+    const DistributedBfsResult dist = run_distributed_bfs(g, root);
+    const std::vector<int> expected = bfs_distances(g, root);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(dist.depth[static_cast<std::size_t>(v)],
+                expected[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(DistributedBfs, RoundsProportionalToEccentricity) {
+  Rng rng(107);
+  const Graph g = make_path(60, {1, 1}, rng);
+  const DistributedBfsResult result = run_distributed_bfs(g, 0);
+  // BFS over a path of 60 nodes: information must travel 59 hops.
+  EXPECT_GE(result.stats.rounds, 59);
+  EXPECT_LE(result.stats.rounds, 59 + 3);
+}
+
+TEST(DistributedBfs, ParentPortsFormTree) {
+  Rng rng(109);
+  const Graph g = make_grid(6, 6, {1, 1}, rng);
+  const DistributedBfsResult result = run_distributed_bfs(g, 0);
+  int roots = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (result.parent_port[static_cast<std::size_t>(v)] == kNoPort) {
+      ++roots;
+    } else {
+      const NodeId p =
+          g.neighbors(v)[result.parent_port[static_cast<std::size_t>(v)]].to;
+      EXPECT_EQ(result.depth[static_cast<std::size_t>(v)],
+                result.depth[static_cast<std::size_t>(p)] + 1);
+    }
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST(FloodMax, ElectsMaximumId) {
+  Rng rng(113);
+  const Graph g = make_gnp_connected(30, 0.1, {1, 1}, rng);
+  Network net(g);
+  std::vector<FloodMaxProgram> programs(30);
+  net.run(programs);
+  for (const auto& p : programs) EXPECT_EQ(p.leader(), 29);
+}
+
+TEST(ConvergecastSum, ComputesGlobalSum) {
+  Rng rng(127);
+  const Graph g = make_gnp_connected(40, 0.1, {1, 4}, rng);
+  const DistributedBfsResult bfs = run_distributed_bfs(g, 5);
+  Network net(g);
+  std::vector<ConvergecastSumProgram> programs;
+  double expected = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double value = static_cast<double>(v) * 0.25;
+    expected += value;
+    programs.emplace_back(ConvergecastSumProgram::Config{
+        v == 5, bfs.parent_port[static_cast<std::size_t>(v)], value});
+  }
+  const RunStats stats = net.run(programs);
+  EXPECT_TRUE(stats.all_halted);
+  EXPECT_NEAR(programs[5].result(), expected, 1e-4);
+}
+
+TEST(ConvergecastSum, RoundsProportionalToDepth) {
+  Rng rng(131);
+  const Graph g = make_path(50, {1, 1}, rng);
+  const DistributedBfsResult bfs = run_distributed_bfs(g, 0);
+  Network net(g);
+  std::vector<ConvergecastSumProgram> programs;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    programs.emplace_back(ConvergecastSumProgram::Config{
+        v == 0, bfs.parent_port[static_cast<std::size_t>(v)], 1.0});
+  }
+  const RunStats stats = net.run(programs);
+  EXPECT_NEAR(programs[0].result(), 50.0, 1e-4);
+  EXPECT_LE(stats.rounds, 49 + 4);
+}
+
+TEST(PipelinedBroadcast, AllTokensReachAllNodes) {
+  Rng rng(137);
+  const Graph g = make_grid(5, 5, {1, 1}, rng);
+  const DistributedBfsResult bfs = run_distributed_bfs(g, 0);
+  const auto children = children_ports_from_bfs(g, bfs);
+  const int k = 12;
+  std::vector<std::int64_t> tokens(k);
+  std::iota(tokens.begin(), tokens.end(), 100);
+
+  Network net(g);
+  std::vector<PipelinedBroadcastProgram> programs;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    PipelinedBroadcastProgram::Config config;
+    config.is_root = (v == 0);
+    config.parent_port = bfs.parent_port[static_cast<std::size_t>(v)];
+    config.children_ports = children[static_cast<std::size_t>(v)];
+    if (config.is_root) config.tokens = tokens;
+    programs.emplace_back(std::move(config));
+  }
+  RunOptions options;
+  options.quiet_rounds_to_stop = 2;
+  const RunStats stats = net.run(programs, options);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(programs[static_cast<std::size_t>(v)].received_tokens(), tokens)
+        << "node " << v;
+  }
+  // Pipelining bound: depth + k + small constant (quiescence detection
+  // adds the quiet rounds).
+  const int depth = *std::max_element(bfs.depth.begin(), bfs.depth.end());
+  EXPECT_LE(stats.rounds, depth + k + 4);
+}
+
+TEST(PipelinedBroadcast, PathPipelineBound) {
+  // Over a path (depth n-1), k tokens must take ~ depth + k rounds, NOT
+  // depth * k — this is the pipelining fact Lemma 5.1 builds on.
+  Rng rng(139);
+  const int n = 40;
+  const Graph g = make_path(n, {1, 1}, rng);
+  const DistributedBfsResult bfs = run_distributed_bfs(g, 0);
+  const auto children = children_ports_from_bfs(g, bfs);
+  const int k = 30;
+  std::vector<std::int64_t> tokens(k);
+  std::iota(tokens.begin(), tokens.end(), 0);
+  Network net(g);
+  std::vector<PipelinedBroadcastProgram> programs;
+  for (NodeId v = 0; v < n; ++v) {
+    PipelinedBroadcastProgram::Config config;
+    config.is_root = (v == 0);
+    config.parent_port = bfs.parent_port[static_cast<std::size_t>(v)];
+    config.children_ports = children[static_cast<std::size_t>(v)];
+    if (config.is_root) config.tokens = tokens;
+    programs.emplace_back(std::move(config));
+  }
+  const RunStats stats = net.run(programs);
+  EXPECT_EQ(programs[n - 1].received_tokens().size(),
+            static_cast<std::size_t>(k));
+  EXPECT_LE(stats.rounds, (n - 1) + k + 4);
+  EXPECT_GE(stats.rounds, (n - 1) + k - 1);
+}
+
+TEST(DistributedPushRelabel, MatchesDinicOnSmallGraphs) {
+  Rng rng(149);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = make_gnp_connected(14, 0.3, {1, 6}, rng);
+    const NodeId s = 0;
+    const NodeId t = g.num_nodes() - 1;
+    const double exact = dinic_max_flow_value(g, s, t);
+    const DistributedPushRelabelResult result =
+        run_distributed_push_relabel(g, s, t);
+    EXPECT_NEAR(result.flow_value, exact, 1e-4) << "trial " << trial;
+  }
+}
+
+TEST(DistributedPushRelabel, PathInstance) {
+  Rng rng(151);
+  Graph g(5);
+  g.add_edge(0, 1, 7.0);
+  g.add_edge(1, 2, 4.0);
+  g.add_edge(2, 3, 9.0);
+  g.add_edge(3, 4, 6.0);
+  const DistributedPushRelabelResult result =
+      run_distributed_push_relabel(g, 0, 4);
+  EXPECT_NEAR(result.flow_value, 4.0, 1e-6);
+  (void)rng;
+}
+
+TEST(DistributedPushRelabel, BarbellNeedsManyRounds) {
+  // The barbell is the classic hard case: excess must be drained back
+  // over the bridge, forcing many relabels.
+  Rng rng(157);
+  const Graph g = make_barbell(6, {10, 10}, 2.0, rng);
+  const NodeId s = 0;
+  const NodeId t = g.num_nodes() - 1;
+  const DistributedPushRelabelResult result =
+      run_distributed_push_relabel(g, s, t);
+  EXPECT_NEAR(result.flow_value, 2.0, 1e-4);
+  // Far more rounds than the diameter (3): this is the phenomenon from
+  // §1.2 that motivates the paper.
+  EXPECT_GT(result.stats.rounds, 10 * diameter_exact(g));
+}
+
+TEST(RoundLedger, ChargesAccumulate) {
+  RoundLedger ledger;
+  ledger.charge("bfs", 10.0);
+  ledger.charge("bfs", 5.0);
+  ledger.charge("sparsify", 2.5);
+  EXPECT_DOUBLE_EQ(ledger.total(), 17.5);
+  EXPECT_DOUBLE_EQ(ledger.breakdown().at("bfs"), 15.0);
+  RoundLedger other;
+  other.charge("bfs", 1.0);
+  ledger.merge(other);
+  EXPECT_DOUBLE_EQ(ledger.total(), 18.5);
+}
+
+TEST(RoundLedger, RejectsNegativeCharge) {
+  RoundLedger ledger;
+  EXPECT_THROW(ledger.charge("x", -1.0), RequirementError);
+}
+
+TEST(CostModel, FormulasAreMonotone) {
+  CostModel model{.n = 100, .diameter = 12};
+  EXPECT_DOUBLE_EQ(model.bfs(), 13.0);
+  EXPECT_DOUBLE_EQ(model.pipelined(10.0), 22.0);
+  EXPECT_GT(model.cluster_step(10.0, 5.0), model.cluster_step(5.0, 5.0));
+  EXPECT_NEAR(model.sqrt_n(), 10.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dmf::congest

@@ -1,0 +1,220 @@
+// End-to-end tests for AlmostRoute and the Sherman max-flow driver:
+// conservation, feasibility, and the (1-eps) value guarantee against the
+// exact Dinic baseline (Theorem 1.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "baselines/dinic.h"
+#include "capprox/racke.h"
+#include "graph/algorithms.h"
+#include "graph/flow.h"
+#include "graph/generators.h"
+#include "maxflow/almost_route.h"
+#include "maxflow/sherman.h"
+#include "util/rng.h"
+
+namespace dmf {
+namespace {
+
+CongestionApproximator racke_approximator(const Graph& g, int trees,
+                                          Rng& rng) {
+  RackeOptions options;
+  options.num_trees = trees;
+  return CongestionApproximator(build_racke_trees(g, options, rng).trees);
+}
+
+TEST(AlmostRoute, ZeroDemandReturnsZeroFlow) {
+  Rng rng(601);
+  const Graph g = make_grid(4, 4, {1, 4}, rng);
+  const CongestionApproximator approx = racke_approximator(g, 3, rng);
+  const AlmostRouteResult result = almost_route(
+      g, approx, std::vector<double>(16, 0.0), AlmostRouteOptions{});
+  EXPECT_TRUE(result.converged);
+  for (const double f : result.flow) EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+TEST(AlmostRoute, RoutesMostOfTheDemand) {
+  Rng rng(607);
+  const Graph g = make_gnp_connected(30, 0.15, {2, 8}, rng);
+  const CongestionApproximator approx = racke_approximator(g, 4, rng);
+  const std::vector<double> b = st_demand(30, 0, 29, 1.0);
+  AlmostRouteOptions options;
+  options.epsilon = 0.5;
+  options.alpha = 3.0;
+  const AlmostRouteResult result = almost_route(g, approx, b, options);
+  EXPECT_TRUE(result.converged);
+  // The returned flow must have routed a significant fraction of b:
+  // residual well below the original demand.
+  const std::vector<double> div = flow_divergence(g, result.flow);
+  double residual = 0.0;
+  for (NodeId v = 0; v < 30; ++v) {
+    residual += std::abs(b[static_cast<std::size_t>(v)] -
+                         div[static_cast<std::size_t>(v)]);
+  }
+  EXPECT_LT(residual, 1.0);  // |b|_1 = 2
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_GT(result.rounds, 0.0);
+}
+
+TEST(AlmostRoute, CongestionNearOptimal) {
+  // Two-node graph, one edge: optimal congestion for unit demand is
+  // 1/cap; AlmostRoute + exact cleanup must land near it.
+  Rng rng(613);
+  Graph g(2);
+  g.add_edge(0, 1, 4.0);
+  const CongestionApproximator approx = racke_approximator(g, 2, rng);
+  const std::vector<double> b = st_demand(2, 0, 1, 1.0);
+  AlmostRouteOptions options;
+  options.epsilon = 0.3;
+  const AlmostRouteResult result = almost_route(g, approx, b, options);
+  EXPECT_TRUE(result.converged);
+  // Flow should be close to 1.0 on the single edge.
+  EXPECT_NEAR(result.flow[0], 1.0, 0.4);
+}
+
+TEST(ShermanRoute, RoutesDemandExactly) {
+  Rng rng(617);
+  const Graph g = make_gnp_connected(25, 0.2, {1, 9}, rng);
+  const ShermanSolver solver(g, ShermanOptions{}, rng);
+  std::vector<double> b(25, 0.0);
+  b[1] = 2.0;
+  b[13] = 1.0;
+  b[24] = -3.0;
+  const RouteResult result = solver.route(b);
+  const std::vector<double> div = flow_divergence(g, result.flow);
+  for (NodeId v = 0; v < 25; ++v) {
+    EXPECT_NEAR(div[static_cast<std::size_t>(v)],
+                b[static_cast<std::size_t>(v)], 1e-6);
+  }
+}
+
+TEST(ShermanRoute, CongestionWithinFactorOfOptimal) {
+  // For s-t demands the optimal congestion is known exactly via Dinic.
+  Rng rng(619);
+  const Graph g = make_gnp_connected(30, 0.15, {1, 6}, rng);
+  const ShermanSolver solver(g, ShermanOptions{}, rng);
+  const NodeId s = 0;
+  const NodeId t = 29;
+  const double maxflow = dinic_max_flow_value(g, s, t);
+  const RouteResult result = solver.route(st_demand(30, s, t, 1.0));
+  const double opt = 1.0 / maxflow;
+  EXPECT_GE(result.congestion, opt * (1.0 - 1e-9));
+  EXPECT_LE(result.congestion, opt * 3.0);  // near-optimal; E2 quantifies
+}
+
+TEST(ShermanMaxFlow, FeasibleConservedAndNearOptimal) {
+  Rng rng(631);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Graph g = make_gnp_connected(24, 0.2, {1, 8}, rng);
+    const NodeId s = 0;
+    const NodeId t = 23;
+    const double exact = dinic_max_flow_value(g, s, t);
+    const MaxFlowApproxResult approx = approx_max_flow(g, s, t, 0.25, rng);
+    EXPECT_TRUE(is_feasible(g, approx.flow, 1e-6)) << "trial " << trial;
+    EXPECT_NEAR(max_conservation_violation(g, approx.flow, s, t), 0.0, 1e-6);
+    EXPECT_NEAR(flow_value(g, approx.flow, s), approx.value, 1e-6);
+    EXPECT_GE(approx.value, 0.6 * exact) << "trial " << trial;
+    EXPECT_LE(approx.value, exact * (1.0 + 1e-6)) << "trial " << trial;
+  }
+}
+
+TEST(ShermanMaxFlow, PathGraphIsExact) {
+  Rng rng(641);
+  Graph g(4);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 7.0);
+  const MaxFlowApproxResult result = approx_max_flow(g, 0, 3, 0.2, rng);
+  // On a path there is only one routing; the value is limited by the
+  // bottleneck and the algorithm should find (nearly) all of it.
+  EXPECT_GE(result.value, 0.8 * 2.0);
+  EXPECT_LE(result.value, 2.0 + 1e-9);
+}
+
+TEST(ShermanMaxFlow, BarbellBridge) {
+  Rng rng(643);
+  const Graph g = make_barbell(5, {6, 6}, 2.0, rng);
+  const double exact = dinic_max_flow_value(g, 0, 9);
+  EXPECT_DOUBLE_EQ(exact, 2.0);
+  const MaxFlowApproxResult result = approx_max_flow(g, 0, 9, 0.25, rng);
+  EXPECT_GE(result.value, 0.6 * exact);
+  EXPECT_TRUE(is_feasible(g, result.flow, 1e-6));
+}
+
+TEST(ShermanMaxFlow, LayeredBottleneck) {
+  Rng rng(647);
+  NodeId s = 0;
+  NodeId t = 0;
+  const Graph g = make_layered_bottleneck(4, 3, 50.0, 6.0, rng, &s, &t);
+  const double exact = dinic_max_flow_value(g, s, t);
+  const MaxFlowApproxResult result = approx_max_flow(g, s, t, 0.25, rng);
+  EXPECT_GE(result.value, 0.6 * exact);
+  EXPECT_TRUE(is_feasible(g, result.flow, 1e-6));
+}
+
+TEST(ShermanMaxFlow, RoundsAccountedAndSubquadratic) {
+  Rng rng(653);
+  const Graph g = make_gnp_connected(40, 0.12, {1, 5}, rng);
+  const MaxFlowApproxResult result = approx_max_flow(g, 0, 39, 0.3, rng);
+  EXPECT_GT(result.rounds, 0.0);
+  EXPECT_GT(result.gradient_iterations, 0);
+}
+
+TEST(ShermanSolver, ReusableAcrossQueries) {
+  Rng rng(659);
+  const Graph g = make_grid(5, 5, {1, 6}, rng);
+  const ShermanSolver solver(g, ShermanOptions{}, rng);
+  const MaxFlowApproxResult a = solver.max_flow(0, 24);
+  const MaxFlowApproxResult b = solver.max_flow(4, 20);
+  EXPECT_GT(a.value, 0.0);
+  EXPECT_GT(b.value, 0.0);
+  EXPECT_TRUE(is_feasible(g, a.flow, 1e-6));
+  EXPECT_TRUE(is_feasible(g, b.flow, 1e-6));
+}
+
+TEST(ShermanSolver, RejectsBadInput) {
+  Rng rng(661);
+  const Graph g = make_path(5, {1, 1}, rng);
+  const ShermanSolver solver(g, ShermanOptions{}, rng);
+  EXPECT_THROW(solver.max_flow(0, 0), RequirementError);
+  EXPECT_THROW(solver.route({1.0, 0.0, 0.0, 0.0, 0.5}), RequirementError);
+  Graph disconnected(3);
+  disconnected.add_edge(0, 1, 1.0);
+  EXPECT_THROW(ShermanSolver(disconnected, ShermanOptions{}, rng),
+               RequirementError);
+}
+
+// The headline guarantee, swept over families and epsilons (the precise
+// curve is E2's job; here we bound from below with slack for the small-n
+// constants).
+struct ApproxCase {
+  int family;
+  double epsilon;
+};
+
+class ShermanFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShermanFamilies, ValueWithinBand) {
+  const int param = GetParam();
+  Rng rng(static_cast<std::uint64_t>(param) * 2749 + 23);
+  Graph g;
+  switch (param % 3) {
+    case 0: g = make_gnp_connected(20, 0.25, {1, 7}, rng); break;
+    case 1: g = make_grid(5, 4, {1, 7}, rng); break;
+    default: g = make_tree_plus_chords(20, 10, {1, 7}, rng); break;
+  }
+  const NodeId s = 0;
+  const NodeId t = g.num_nodes() - 1;
+  const double exact = dinic_max_flow_value(g, s, t);
+  const MaxFlowApproxResult result = approx_max_flow(g, s, t, 0.25, rng);
+  EXPECT_TRUE(is_feasible(g, result.flow, 1e-6));
+  EXPECT_GE(result.value, 0.55 * exact) << "family " << param % 3;
+  EXPECT_LE(result.value, exact * (1.0 + 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ShermanFamilies, ::testing::Range(0, 9));
+
+}  // namespace
+}  // namespace dmf

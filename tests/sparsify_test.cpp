@@ -1,0 +1,238 @@
+// Tests for the Baswana–Sen spanner and the Koutis-style sparsifier
+// (Lemma 6.1): size bounds, connectivity, cut preservation, orientation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <queue>
+
+#include "graph/generators.h"
+#include "sparsify/sparsifier.h"
+#include "sparsify/spanner.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace dmf {
+namespace {
+
+Multigraph lift(const Graph& g) { return Multigraph::from_graph(g); }
+
+bool subgraph_connected(const Multigraph& g,
+                        const std::vector<std::size_t>& edges) {
+  const auto nn = static_cast<std::size_t>(g.num_nodes());
+  std::vector<std::vector<NodeId>> adj(nn);
+  for (const std::size_t i : edges) {
+    const MultiEdge& e = g.edge(i);
+    adj[static_cast<std::size_t>(e.u)].push_back(e.v);
+    adj[static_cast<std::size_t>(e.v)].push_back(e.u);
+  }
+  std::vector<char> seen(nn, 0);
+  std::queue<NodeId> frontier;
+  seen[0] = 1;
+  frontier.push(0);
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const NodeId to : adj[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(to)]) {
+        seen[static_cast<std::size_t>(to)] = 1;
+        ++reached;
+        frontier.push(to);
+      }
+    }
+  }
+  return reached == nn;
+}
+
+TEST(Spanner, PreservesConnectivity) {
+  Rng rng(307);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = make_gnp_connected(60, 0.15, {1, 9}, rng);
+    const Multigraph mg = lift(g);
+    const SpannerResult spanner = baswana_sen_spanner(mg, 0, rng);
+    EXPECT_TRUE(subgraph_connected(mg, spanner.edges)) << "trial " << trial;
+  }
+}
+
+TEST(Spanner, SparsifiesDenseGraphs) {
+  Rng rng(311);
+  const Graph g = make_complete(60, {1, 5}, rng);  // 1770 edges
+  const Multigraph mg = lift(g);
+  Summary sizes;
+  for (int trial = 0; trial < 5; ++trial) {
+    const SpannerResult spanner = baswana_sen_spanner(mg, 0, rng);
+    sizes.add(static_cast<double>(spanner.edges.size()));
+  }
+  // O(N log N) with small constants: far below the 1770 original edges.
+  EXPECT_LT(sizes.mean(), 900.0);
+  EXPECT_GE(sizes.min(), 59.0);  // at least a spanning structure
+}
+
+TEST(Spanner, KeepsAllEdgesOfATree) {
+  Rng rng(313);
+  const Graph g = make_random_tree(40, {1, 5}, rng);
+  const Multigraph mg = lift(g);
+  const SpannerResult spanner = baswana_sen_spanner(mg, 0, rng);
+  // A tree has no redundancy: connectivity forces all n-1 edges.
+  EXPECT_EQ(spanner.edges.size(), 39u);
+}
+
+TEST(Spanner, SingleNodeAndEmpty) {
+  Multigraph empty(1);
+  Rng rng(317);
+  EXPECT_TRUE(baswana_sen_spanner(empty, 0, rng).edges.empty());
+}
+
+TEST(Spanner, HandlesParallelEdges) {
+  Rng rng(331);
+  Multigraph mg(3);
+  mg.add_edge({0, 1, 0, 1.0, 1.0, 0});
+  mg.add_edge({0, 1, 1, 2.0, 0.5, 1});
+  mg.add_edge({1, 2, 2, 1.0, 1.0, 2});
+  const SpannerResult spanner = baswana_sen_spanner(mg, 0, rng);
+  EXPECT_TRUE(subgraph_connected(mg, spanner.edges));
+}
+
+TEST(Sparsifier, ReducesEdgeCountOnDenseGraphs) {
+  Rng rng(337);
+  const Graph g = make_complete(80, {1, 4}, rng);  // 3160 edges
+  const Multigraph mg = lift(g);
+  SparsifierOptions options;
+  options.bundle_size = 4;
+  options.target_degree = 12.0;
+  const SparsifyResult result = sparsify(mg, options, rng);
+  EXPECT_LT(result.graph.num_edges(), mg.num_edges());
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_TRUE(result.graph.is_connected());
+}
+
+TEST(Sparsifier, PreservesSmallGraphsVerbatim) {
+  Rng rng(347);
+  const Graph g = make_grid(4, 4, {1, 3}, rng);
+  const Multigraph mg = lift(g);
+  SparsifierOptions options;  // defaults: target degree >> grid degree
+  const SparsifyResult result = sparsify(mg, options, rng);
+  EXPECT_EQ(result.graph.num_edges(), mg.num_edges());
+  EXPECT_EQ(result.iterations, 0);
+}
+
+TEST(Sparsifier, ApproximatelyPreservesCuts) {
+  // Measure random-bipartition and star cuts before/after sparsifying a
+  // dense graph; ratios must stay within a constant band. (E4 reports the
+  // measured distribution precisely.)
+  Rng rng(349);
+  const Graph g = make_complete(70, {1, 3}, rng);
+  const Multigraph mg = lift(g);
+  SparsifierOptions options;
+  options.bundle_size = 5;
+  options.target_degree = 15.0;
+  const SparsifyResult result = sparsify(mg, options, rng);
+  Summary ratios;
+  const auto nn = static_cast<std::size_t>(mg.num_nodes());
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<char> side(nn, 0);
+    for (std::size_t v = 0; v < nn; ++v) side[v] = rng.next_bool(0.5) ? 1 : 0;
+    const double before = cut_capacity(mg, side);
+    if (before <= 0.0) continue;
+    ratios.add(cut_capacity(result.graph, side) / before);
+  }
+  EXPECT_GT(ratios.min(), 0.55);
+  EXPECT_LT(ratios.max(), 1.8);
+  // Single-node (degree) cuts are the sensitive ones.
+  Summary degree_ratios;
+  for (NodeId v = 0; v < mg.num_nodes(); ++v) {
+    std::vector<char> side(nn, 0);
+    side[static_cast<std::size_t>(v)] = 1;
+    degree_ratios.add(cut_capacity(result.graph, side) /
+                      cut_capacity(mg, side));
+  }
+  EXPECT_GT(degree_ratios.min(), 0.4);
+  EXPECT_LT(degree_ratios.max(), 2.2);
+}
+
+TEST(Sparsifier, EveryEdgeTracksABaseEdge) {
+  Rng rng(353);
+  const Graph g = make_complete(50, {1, 4}, rng);
+  const Multigraph mg = lift(g);
+  SparsifierOptions options;
+  options.bundle_size = 4;
+  options.target_degree = 10.0;
+  const SparsifyResult result = sparsify(mg, options, rng);
+  for (const MultiEdge& e : result.graph.edges()) {
+    // Paper invariant: every (virtual) edge is also a graph edge.
+    ASSERT_GE(e.base_edge, 0);
+    ASSERT_LT(e.base_edge, g.num_edges());
+    const EdgeEndpoints ep = g.endpoints(e.base_edge);
+    EXPECT_TRUE((ep.u == e.u && ep.v == e.v) || (ep.u == e.v && ep.v == e.u));
+  }
+}
+
+TEST(Orientation, OutDegreeBounded) {
+  Rng rng(359);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = make_gnp_connected(60, 0.3, {1, 3}, rng);
+    const Multigraph mg = lift(g);
+    const std::vector<char> orientation = orient_low_outdegree(mg);
+    std::vector<int> outdeg(static_cast<std::size_t>(mg.num_nodes()), 0);
+    for (std::size_t i = 0; i < mg.num_edges(); ++i) {
+      const MultiEdge& e = mg.edge(i);
+      const NodeId tail = orientation[i] == 0 ? e.u : e.v;
+      ++outdeg[static_cast<std::size_t>(tail)];
+    }
+    const double avg = 2.0 * static_cast<double>(mg.num_edges()) /
+                       static_cast<double>(mg.num_nodes());
+    for (const int d : outdeg) {
+      EXPECT_LE(static_cast<double>(d), 2.0 * avg + 1.0);
+    }
+  }
+}
+
+TEST(Orientation, StarGraph) {
+  // Star: center has degree n-1 >> average; orientation must point the
+  // leaves' edges outward from the leaves (center out-degree small).
+  Rng rng(367);
+  const Graph g = make_caterpillar(1, 30, {1, 1}, rng);
+  const Multigraph mg = lift(g);
+  const std::vector<char> orientation = orient_low_outdegree(mg);
+  int center_out = 0;
+  for (std::size_t i = 0; i < mg.num_edges(); ++i) {
+    const MultiEdge& e = mg.edge(i);
+    const NodeId tail = orientation[i] == 0 ? e.u : e.v;
+    if (tail == 0) ++center_out;
+  }
+  const double avg = 2.0 * 30.0 / 31.0;
+  EXPECT_LE(center_out, static_cast<int>(2.0 * avg) + 1);
+}
+
+// Parameterized: sparsifier keeps connectivity and bounded cut error
+// across families.
+class SparsifierFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparsifierFamilies, ConnectedAndCutFaithful) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863 + 3);
+  Graph g;
+  switch (GetParam() % 3) {
+    case 0: g = make_complete(40 + 5 * GetParam(), {1, 4}, rng); break;
+    case 1: g = make_gnp_connected(80, 0.4, {1, 4}, rng); break;
+    default: g = make_random_regular(60, 12, {1, 4}, rng); break;
+  }
+  const Multigraph mg = lift(g);
+  SparsifierOptions options;
+  options.bundle_size = 4;
+  options.target_degree = 14.0;
+  const SparsifyResult result = sparsify(mg, options, rng);
+  EXPECT_TRUE(result.graph.is_connected());
+  // Total capacity (the all-nodes "cut" is 0; use sum) is preserved in
+  // expectation; check within a factor 2 band.
+  double before = 0.0;
+  double after = 0.0;
+  for (const MultiEdge& e : mg.edges()) before += e.cap;
+  for (const MultiEdge& e : result.graph.edges()) after += e.cap;
+  EXPECT_GT(after, before * 0.5);
+  EXPECT_LT(after, before * 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SparsifierFamilies, ::testing::Range(0, 9));
+
+}  // namespace
+}  // namespace dmf
