@@ -1,0 +1,144 @@
+// E13: FlowEngine batched throughput vs. per-query solver construction.
+//
+// The engine's thesis: the congestion-approximator hierarchy dominates the
+// cost of a query, so building it once and serving a batch against it must
+// beat constructing a fresh ShermanSolver per query by a wide margin. This
+// experiment times a 64-query s-t max-flow batch both ways on several
+// graph families and reports queries/s plus the speedup (acceptance bar:
+// >= 3x). Also shown: the worker-pool scaling at 1/2/4 threads on one
+// prebuilt hierarchy.
+//
+//   ./bench_e13_engine_throughput [n] [queries] [seed]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+#include "maxflow/sherman.h"
+#include "util/rng.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dmf;
+  const NodeId n = argc > 1 ? std::atoi(argv[1]) : 220;
+  const int num_queries = argc > 2 ? std::atoi(argv[2]) : 64;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1337;
+
+  bench::print_header("E13", "engine batched throughput vs per-query builds");
+  // value_ratio: mean engine/naive max-flow value — shows the engine's
+  // throughput-tuned routing stays well inside the (1+eps) promise.
+  bench::print_row({"family", "n", "queries", "batch_s", "naive_s", "qps",
+                    "speedup", "value_ratio"});
+
+  for (const std::string& family : {std::string("gnp"), std::string("torus"),
+                                    std::string("chords")}) {
+    Rng rng(seed);
+    const Graph g = bench::make_family(family, n, rng);
+
+    // Query workload: random distinct s-t pairs.
+    std::vector<EngineQuery> queries;
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    for (int i = 0; i < num_queries; ++i) {
+      const NodeId s = static_cast<NodeId>(
+          rng.next_below(static_cast<std::uint64_t>(g.num_nodes())));
+      NodeId t = s;
+      while (t == s) {
+        t = static_cast<NodeId>(
+            rng.next_below(static_cast<std::uint64_t>(g.num_nodes())));
+      }
+      queries.push_back(MaxFlowQuery{s, t});
+      pairs.emplace_back(s, t);
+    }
+
+    EngineOptions options;
+    options.threads = 1;  // isolate the amortization effect from threading
+    options.sherman.num_trees = 6;
+    options.seed = seed;
+
+    // --- Engine: one hierarchy build + batch. ---
+    const auto engine_start = Clock::now();
+    FlowEngine engine(g, options);
+    const std::vector<QueryOutcome> outcomes = engine.run_batch(queries);
+    const double engine_seconds = seconds_since(engine_start);
+    int failures = 0;
+    for (const QueryOutcome& o : outcomes) failures += o.ok ? 0 : 1;
+
+    // --- Naive: a fresh ShermanSolver (fresh hierarchy) per query, at
+    // the same accuracy contract (the engine derives almost_route.epsilon
+    // from epsilon the same way; its residual-tolerance tuning is part of
+    // what is being measured). ---
+    ShermanOptions sherman = options.sherman;
+    sherman.almost_route.epsilon = std::min(0.5, sherman.epsilon);
+    const auto naive_start = Clock::now();
+    std::vector<double> naive_values;
+    for (const auto& [s, t] : pairs) {
+      Rng solver_rng(seed);
+      const ShermanSolver solver(g, sherman, solver_rng);
+      naive_values.push_back(solver.max_flow(s, t).value);
+    }
+    const double naive_seconds = seconds_since(naive_start);
+
+    double ratio_sum = 0.0;
+    int ratio_count = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i].ok && outcomes[i].max_flow && naive_values[i] > 0.0) {
+        ratio_sum += outcomes[i].max_flow->value / naive_values[i];
+        ++ratio_count;
+      }
+    }
+
+    const double qps = static_cast<double>(num_queries) / engine_seconds;
+    bench::print_row(
+        {family, bench::fmt_int(n), bench::fmt_int(num_queries),
+         bench::fmt(engine_seconds), bench::fmt(naive_seconds),
+         bench::fmt(qps, 1), bench::fmt(naive_seconds / engine_seconds, 1),
+         bench::fmt(ratio_count > 0 ? ratio_sum / ratio_count : 0.0)});
+    if (failures > 0) {
+      std::printf("  WARNING: %d queries failed\n", failures);
+    }
+  }
+
+  // --- Worker-pool scaling on one prebuilt hierarchy (gnp family). ---
+  bench::print_header("E13b", "worker-pool scaling on a prebuilt hierarchy");
+  bench::print_row({"threads", "batch_s", "qps"});
+  Rng rng(seed);
+  const Graph g = bench::make_family("gnp", n, rng);
+  std::vector<EngineQuery> queries;
+  for (int i = 0; i < num_queries; ++i) {
+    const NodeId s = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(g.num_nodes())));
+    const NodeId t = (s + 1 + static_cast<NodeId>(rng.next_below(
+                                  static_cast<std::uint64_t>(
+                                      g.num_nodes() - 1)))) %
+                     g.num_nodes();
+    queries.push_back(MaxFlowQuery{s, t});
+  }
+  for (const int threads : {1, 2, 4}) {
+    EngineOptions options;
+    options.threads = threads;
+    options.sherman.num_trees = 6;
+    options.seed = seed;
+    FlowEngine engine(g, options);  // build excluded from the timing below
+    const auto start = Clock::now();
+    (void)engine.run_batch(queries);
+    const double batch_seconds = seconds_since(start);
+    bench::print_row({bench::fmt_int(threads), bench::fmt(batch_seconds),
+                      bench::fmt(static_cast<double>(num_queries) /
+                                     batch_seconds,
+                                 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Batched query serving with the FlowEngine.
+//
+// Builds one graph, constructs the engine (= one congestion-approximator
+// hierarchy build, tree sampling parallelized), then serves a mixed batch:
+// many s-t max-flow queries, a multi-demand route() call, an exact query
+// dispatched to a baseline by the SolverRegistry, and a multi-terminal
+// query — all against the same prebuilt hierarchy.
+//
+//   ./example_batch_queries [n] [queries] [threads] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/engine.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace dmf;
+  const NodeId n = argc > 1 ? std::atoi(argv[1]) : 200;
+  const int num_queries = argc > 2 ? std::atoi(argv[2]) : 32;
+  const int threads = argc > 3 ? std::atoi(argv[3]) : 0;  // 0 = hardware
+  const std::uint64_t seed =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 7;
+
+  Rng rng(seed);
+  const Graph g = make_gnp_connected(n, 3.5 / n, {1, 16}, rng);
+  std::printf("graph: %s\n", g.summary().c_str());
+
+  EngineOptions options;
+  options.threads = threads;
+  options.seed = seed;
+  FlowEngine engine(g, options);
+  std::printf("hierarchy: %d trees, alpha=%.2f, built in %.3fs (%.0f rounds)\n",
+              engine.stats().num_trees, engine.stats().alpha,
+              engine.stats().build_seconds, engine.stats().build_rounds);
+
+  std::vector<EngineQuery> batch;
+  for (int i = 0; i < num_queries; ++i) {
+    const NodeId s = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    NodeId t = s;
+    while (t == s) {
+      t = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    }
+    batch.push_back(MaxFlowQuery{s, t});
+  }
+  // An exact query: the registry sends it to Dinic / push-relabel.
+  batch.push_back(MaxFlowQuery{0, n - 1, 0.0, /*exact=*/true});
+  // A three-terminal demand routed directly on the hierarchy.
+  std::vector<double> demand(static_cast<std::size_t>(n), 0.0);
+  demand[0] = 3.0;
+  demand[static_cast<std::size_t>(n / 2)] = -2.0;
+  demand[static_cast<std::size_t>(n - 1)] = -1.0;
+  batch.push_back(RouteQuery{demand});
+  // Multi-terminal max flow via the super-terminal reduction.
+  batch.push_back(MultiTerminalQuery{{0, 1, 2}, {n - 3, n - 2, n - 1}});
+
+  const std::vector<QueryOutcome> outcomes = engine.run_batch(batch);
+
+  int shown = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const QueryOutcome& o = outcomes[i];
+    if (!o.ok) {
+      std::printf("  query %zu FAILED: %s\n", i, o.error.c_str());
+      continue;
+    }
+    if (shown < 4 || i >= outcomes.size() - 3) {
+      if (o.max_flow) {
+        std::printf("  query %zu [%s]: max-flow value %.4f (%.1fms)\n", i,
+                    o.solver.c_str(), o.max_flow->value, 1e3 * o.seconds);
+      } else if (o.route) {
+        std::printf("  query %zu [%s]: routed, congestion %.4f (%.1fms)\n",
+                    i, o.solver.c_str(), o.route->congestion,
+                    1e3 * o.seconds);
+      } else if (o.multi_terminal) {
+        std::printf("  query %zu [%s]: multi-terminal value %.4f (%.1fms)\n",
+                    i, o.solver.c_str(), o.multi_terminal->value,
+                    1e3 * o.seconds);
+      }
+      ++shown;
+    } else if (shown == 4) {
+      std::printf("  ...\n");
+      ++shown;
+    }
+  }
+
+  const EngineStats& stats = engine.stats();
+  std::printf("\nserved %lld queries (%lld failed) in %.3fs total\n",
+              static_cast<long long>(stats.queries_served),
+              static_cast<long long>(stats.queries_failed),
+              stats.query_seconds_total);
+  std::printf("amortized hierarchy build: %.4fs/query\n",
+              stats.amortized_build_seconds_per_query());
+  for (const auto& [solver, count] : stats.queries_by_solver) {
+    std::printf("  %-20s %lld queries\n", solver.c_str(),
+                static_cast<long long>(count));
+  }
+  return 0;
+}

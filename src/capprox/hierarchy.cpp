@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <numeric>
+
+#ifdef DMF_HAVE_OPENMP
+#include <omp.h>
+#endif
 
 #include "congest/ledger.h"
 #include "graph/algorithms.h"
@@ -249,10 +254,42 @@ std::vector<VirtualTreeSample> sample_virtual_trees(
     count = static_cast<int>(std::ceil(
         2.0 * std::log2(static_cast<double>(std::max<NodeId>(2, g.num_nodes())))));
   }
-  std::vector<VirtualTreeSample> samples;
-  samples.reserve(static_cast<std::size_t>(count));
+  // Derive one independent RNG stream per tree from the caller's
+  // generator BEFORE any sampling happens. The samples are then a pure
+  // function of the seed list, so the loop below may run on any number of
+  // threads and still produce bit-identical trees in the same order.
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(count));
+  for (std::uint64_t& s : seeds) s = rng() ^ 0x9e3779b97f4a7c15ULL;
+
+  std::vector<VirtualTreeSample> samples(static_cast<std::size_t>(count));
+  int threads = options.threads;
+#ifdef DMF_HAVE_OPENMP
+  if (threads <= 0) threads = omp_get_max_threads();
+  if (threads > 1 && count > 1) {
+    // Sampling may throw (DMF_REQUIRE); OpenMP must not let an exception
+    // escape a parallel region, so capture the first one and rethrow.
+    std::exception_ptr error;
+#pragma omp parallel for schedule(dynamic) num_threads(threads)
+    for (int i = 0; i < count; ++i) {
+      try {
+        Rng tree_rng(seeds[static_cast<std::size_t>(i)]);
+        samples[static_cast<std::size_t>(i)] =
+            sample_virtual_tree(g, options, tree_rng);
+      } catch (...) {
+#pragma omp critical
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return samples;
+  }
+#else
+  (void)threads;
+#endif
   for (int i = 0; i < count; ++i) {
-    samples.push_back(sample_virtual_tree(g, options, rng));
+    Rng tree_rng(seeds[static_cast<std::size_t>(i)]);
+    samples[static_cast<std::size_t>(i)] =
+        sample_virtual_tree(g, options, tree_rng);
   }
   return samples;
 }

@@ -50,6 +50,11 @@ struct HierarchyOptions {
   double sparsifier_upscale = 1.25;
   // Multiplicative-weights step for the per-level length updates.
   double mwu_eta = 0.5;
+  // Worker threads for sample_virtual_trees (trees are independent).
+  // 1 = sequential, 0 = all hardware threads. Any value produces
+  // bit-identical samples: each tree draws from its own RNG stream whose
+  // seed is derived from the caller's Rng before the parallel region.
+  int threads = 1;
   SparsifierOptions sparsifier;
   AkpwOptions akpw = default_akpw();
 
@@ -80,7 +85,10 @@ VirtualTreeSample sample_virtual_tree(const Graph& g,
                                       Rng& rng);
 
 // O(log n) independent samples (Lemma 3.3); count <= 0 selects
-// ceil(2 * log2 n).
+// ceil(2 * log2 n). Trees are sampled on options.threads workers (OpenMP
+// when available); per-tree RNG streams are seeded from `rng` up front, so
+// the result is identical at every thread count and `rng` advances by
+// exactly `count` draws either way.
 std::vector<VirtualTreeSample> sample_virtual_trees(
     const Graph& g, int count, const HierarchyOptions& options, Rng& rng);
 

@@ -103,12 +103,16 @@ class NodeContext {
   std::vector<std::optional<Message>> outbox_;
 };
 
-// Requirements on a node program type.
+// Requirements on a node program type: it must expose start(ctx) and
+// round(ctx). (C++17 detection idiom; this was a concept originally.)
+template <typename P, typename = void>
+struct is_node_program : std::false_type {};
 template <typename P>
-concept NodeProgram = requires(P p, NodeContext& ctx) {
-  { p.start(ctx) };
-  { p.round(ctx) };
-};
+struct is_node_program<
+    P, std::void_t<decltype(std::declval<P&>().start(
+                       std::declval<NodeContext&>())),
+                   decltype(std::declval<P&>().round(
+                       std::declval<NodeContext&>()))>> : std::true_type {};
 
 struct RunOptions {
   int max_rounds = 1 << 20;
@@ -165,9 +169,11 @@ class Network {
   // `stop` is an optional global predicate checked after every round; it
   // models an external termination-detection oracle (a real deployment
   // would run an O(D)-round convergecast — callers account for that).
-  template <NodeProgram P, typename StopFn = std::nullptr_t>
+  template <typename P, typename StopFn = std::nullptr_t>
   RunStats run(std::vector<P>& programs, const RunOptions& options = {},
                StopFn stop = nullptr) {
+    static_assert(is_node_program<P>::value,
+                  "Network::run: P must provide start(ctx) and round(ctx)");
     DMF_REQUIRE(programs.size() == contexts_.size(),
                 "Network::run: one program per node required");
     reset();

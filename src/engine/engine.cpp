@@ -1,0 +1,251 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "baselines/adapters.h"
+#include "graph/flow.h"
+#include "util/rng.h"
+
+namespace dmf {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+// Content hashing for per-query RNG streams (FNV-1a over 64-bit words).
+struct ContentHash {
+  std::uint64_t state = 0xcbf29ce484222325ULL;
+  void mix(std::uint64_t word) {
+    state ^= word;
+    state *= 0x100000001b3ULL;
+  }
+  void mix_double(double x) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &x, sizeof(bits));
+    mix(bits);
+  }
+};
+
+}  // namespace
+
+FlowEngine::FlowEngine(Graph graph, EngineOptions options)
+    : graph_(std::move(graph)),
+      options_(std::move(options)),
+      hierarchy_([&] {
+        // Derive the AlmostRoute accuracy from the engine accuracy when
+        // the caller left it at the library default, mirroring
+        // approx_max_flow / approx_max_flow_multi.
+        if (options_.sherman.almost_route.epsilon ==
+            AlmostRouteOptions{}.epsilon) {
+          options_.sherman.almost_route.epsilon =
+              std::min(0.5, options_.sherman.epsilon);
+        }
+        if (options_.tune_routing_for_throughput &&
+            options_.sherman.route_residual_tolerance ==
+                ShermanOptions{}.route_residual_tolerance) {
+          options_.sherman.route_residual_tolerance =
+              options_.sherman.epsilon / 4.0;
+        }
+        ShermanOptions sherman = options_.sherman;
+        if (sherman.hierarchy.threads == 1) {
+          // The engine parallelizes the build on its own worker budget;
+          // sample_threads is the engine-level pin (sample_threads = 1
+          // keeps the build sequential).
+          sherman.hierarchy.threads = options_.sample_threads > 0
+                                          ? options_.sample_threads
+                                          : resolve_threads(options_.threads);
+        }
+        const auto start = std::chrono::steady_clock::now();
+        Rng rng(options_.seed);
+        auto built =
+            std::make_shared<const ShermanHierarchy>(graph_, sherman, rng);
+        stats_.build_seconds = seconds_since(start);
+        return built;
+      }()),
+      solver_(hierarchy_, options_.sherman),
+      registry_(SolverRegistry::standard(options_.exact_cutoff_nodes,
+                                         options_.exact_epsilon)) {
+  stats_.build_rounds = hierarchy_->build_rounds();
+  stats_.num_trees = hierarchy_->approximator().num_trees();
+  stats_.alpha = hierarchy_->alpha();
+}
+
+std::vector<QueryOutcome> FlowEngine::run_batch(
+    const std::vector<EngineQuery>& queries) {
+  std::vector<QueryOutcome> outcomes(queries.size());
+  const int threads = std::min<int>(resolve_threads(options_.threads),
+                                    static_cast<int>(queries.size()));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      outcomes[i] = execute(queries[i]);
+    }
+  } else {
+    // Work-stealing by atomic index: outcome slots are preassigned, so
+    // the result is identical regardless of which worker serves a query.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back([&] {
+        while (true) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= queries.size()) return;
+          outcomes[i] = execute(queries[i]);
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+  }
+  for (const QueryOutcome& outcome : outcomes) absorb(outcome);
+  return outcomes;
+}
+
+QueryOutcome FlowEngine::run(const EngineQuery& query) {
+  QueryOutcome outcome = execute(query);
+  absorb(outcome);
+  return outcome;
+}
+
+QueryOutcome FlowEngine::execute(const EngineQuery& query) const {
+  const auto start = std::chrono::steady_clock::now();
+  QueryOutcome outcome;
+  try {
+    outcome = std::visit(
+        [this](const auto& q) -> QueryOutcome {
+          using T = std::decay_t<decltype(q)>;
+          if constexpr (std::is_same_v<T, MaxFlowQuery>) {
+            return execute_max_flow(q);
+          } else if constexpr (std::is_same_v<T, RouteQuery>) {
+            return execute_route(q);
+          } else {
+            return execute_multi_terminal(q);
+          }
+        },
+        query);
+  } catch (const std::exception& e) {
+    outcome.ok = false;
+    outcome.error = e.what();
+  }
+  outcome.seconds = seconds_since(start);
+  return outcome;
+}
+
+QueryOutcome FlowEngine::execute_max_flow(const MaxFlowQuery& q) const {
+  const double epsilon =
+      q.epsilon > 0.0 ? q.epsilon : options_.sherman.epsilon;
+  const QueryProfile profile{graph_.num_nodes(), graph_.num_edges(), epsilon,
+                             q.exact};
+  const SolverEntry& entry = registry_.select(profile);
+  QueryOutcome outcome;
+  outcome.solver = entry.name;
+  if (entry.kind == SolverKind::kSherman) {
+    if (q.epsilon > 0.0 && q.epsilon != options_.sherman.epsilon) {
+      ShermanOptions per_query = options_.sherman;
+      per_query.epsilon = q.epsilon;
+      per_query.almost_route.epsilon = std::min(0.5, q.epsilon);
+      if (options_.tune_routing_for_throughput) {
+        per_query.route_residual_tolerance = q.epsilon / 4.0;
+      }
+      const ShermanSolver solver(hierarchy_, per_query);  // O(1) share
+      outcome.max_flow = solver.max_flow(q.s, q.t);
+    } else {
+      outcome.max_flow = solver_.max_flow(q.s, q.t);
+    }
+  } else {
+    outcome.max_flow = exact_max_flow_adapter(entry.kind, graph_, q.s, q.t);
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
+QueryOutcome FlowEngine::execute_route(const RouteQuery& q) const {
+  QueryOutcome outcome;
+  outcome.solver = "sherman-route";
+  outcome.route = solver_.route(q.demand);
+  outcome.ok = true;
+  return outcome;
+}
+
+QueryOutcome FlowEngine::execute_multi_terminal(
+    const MultiTerminalQuery& q) const {
+  const double epsilon =
+      q.epsilon > 0.0 ? q.epsilon : options_.sherman.epsilon;
+  // The super-terminal reduction solves on an augmented instance two
+  // nodes and |S|+|T| edges larger; profile that instance.
+  const auto extra =
+      static_cast<EdgeId>(q.sources.size() + q.sinks.size());
+  const QueryProfile profile{graph_.num_nodes() + 2,
+                             graph_.num_edges() + extra, epsilon, q.exact};
+  const SolverEntry& entry = registry_.select(profile);
+  QueryOutcome outcome;
+  outcome.solver = entry.name;
+  if (entry.kind == SolverKind::kSherman) {
+    Rng rng(query_seed(q));
+    outcome.multi_terminal =
+        approx_max_flow_multi(graph_, q.sources, q.sinks, epsilon, rng);
+  } else {
+    // Exact super-terminal reduction, then project the virtual edges away.
+    const SuperTerminalGraph st =
+        build_super_terminal_graph(graph_, q.sources, q.sinks);
+    const MaxFlowApproxResult raw = exact_max_flow_adapter(
+        entry.kind, st.graph, st.super_source, st.super_sink);
+    MultiTerminalMaxFlowResult projected;
+    projected.value = raw.value;
+    projected.rounds = raw.rounds;
+    projected.converged = raw.converged;
+    projected.flow.assign(
+        raw.flow.begin(),
+        raw.flow.begin() + static_cast<std::ptrdiff_t>(graph_.num_edges()));
+    outcome.multi_terminal = std::move(projected);
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
+std::uint64_t FlowEngine::query_seed(const MultiTerminalQuery& q) const {
+  ContentHash h;
+  h.mix(options_.seed);
+  h.mix(0x4d54ULL);  // tag: multi-terminal
+  for (const NodeId s : q.sources) h.mix(static_cast<std::uint64_t>(s));
+  h.mix(0xffffffffffffffffULL);
+  for (const NodeId t : q.sinks) h.mix(static_cast<std::uint64_t>(t));
+  h.mix_double(q.epsilon);
+  return h.state;
+}
+
+void FlowEngine::absorb(const QueryOutcome& outcome) {
+  if (!outcome.ok) {
+    ++stats_.queries_failed;
+    return;
+  }
+  ++stats_.queries_served;
+  stats_.query_seconds_total += outcome.seconds;
+  ++stats_.queries_by_solver[outcome.solver];
+  if (outcome.max_flow) stats_.query_rounds_total += outcome.max_flow->rounds;
+  if (outcome.route) {
+    stats_.query_rounds_total += outcome.route->rounds;
+    stats_.max_congestion =
+        std::max(stats_.max_congestion, outcome.route->congestion);
+  }
+  if (outcome.multi_terminal) {
+    stats_.query_rounds_total += outcome.multi_terminal->rounds;
+  }
+}
+
+}  // namespace dmf

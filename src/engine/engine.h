@@ -1,0 +1,173 @@
+// FlowEngine: a batched multi-query solver engine over one graph.
+//
+// The paper's headline cost is building the congestion approximator (the
+// sampled virtual-tree hierarchy); once built, each AlmostRoute / route()
+// call is comparatively cheap. The engine exploits that asymmetry: it
+// owns the graph, builds the ShermanHierarchy exactly once (virtual-tree
+// sampling parallelized across trees, reproducible at any thread count),
+// and then serves arbitrarily many heterogeneous queries against the
+// const hierarchy — s-t max flow, arbitrary-demand route() calls, and
+// multi-terminal max flow. Independent queries in a batch execute
+// concurrently on a worker pool.
+//
+// Determinism: a query's result depends only on the engine seed, the
+// graph, and the query's content — never on batch position, batch
+// composition, or thread count. Batched results are therefore bitwise
+// identical to issuing the same queries one at a time.
+//
+// Solver selection goes through a SolverRegistry: tiny instances and
+// exactness-demanding queries are dispatched to the exact baselines
+// (Dinic / push-relabel) via the adapters in src/baselines/adapters.h;
+// everything else rides the shared hierarchy. One exception: approximate
+// multi-terminal queries solve on the super-terminal-augmented graph,
+// whose hierarchy cannot be shared with the base graph's, so they build
+// a per-query hierarchy (sharing it across a batch's terminal sets is an
+// open item in ROADMAP.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "engine/registry.h"
+#include "graph/graph.h"
+#include "maxflow/multi_terminal.h"
+#include "maxflow/sherman.h"
+
+namespace dmf {
+
+// --- queries -----------------------------------------------------------------
+
+struct MaxFlowQuery {
+  NodeId s = kInvalidNode;
+  NodeId t = kInvalidNode;
+  double epsilon = 0.0;  // <= 0: use the engine's default accuracy
+  bool exact = false;    // demand an exact baseline regardless of size
+};
+
+struct RouteQuery {
+  std::vector<double> demand;  // one entry per node, summing to ~0
+};
+
+struct MultiTerminalQuery {
+  std::vector<NodeId> sources;
+  std::vector<NodeId> sinks;
+  double epsilon = 0.0;
+  bool exact = false;
+};
+
+using EngineQuery = std::variant<MaxFlowQuery, RouteQuery, MultiTerminalQuery>;
+
+// --- results -----------------------------------------------------------------
+
+struct QueryOutcome {
+  bool ok = false;
+  std::string error;   // set when !ok (a DMF_REQUIRE failure, typically)
+  std::string solver;  // registry entry (or "sherman-route") that served it
+  double seconds = 0.0;
+  // Exactly one of these is populated, matching the query alternative.
+  std::optional<MaxFlowApproxResult> max_flow;
+  std::optional<RouteResult> route;
+  std::optional<MultiTerminalMaxFlowResult> multi_terminal;
+};
+
+struct EngineStats {
+  double build_seconds = 0.0;  // hierarchy construction wall time
+  double build_rounds = 0.0;   // accounted CONGEST rounds of the build
+  int num_trees = 0;
+  double alpha = 0.0;
+  std::int64_t queries_served = 0;
+  std::int64_t queries_failed = 0;
+  double query_seconds_total = 0.0;
+  // Sum of the per-reply round accounting (Sherman max-flow replies fold
+  // the one-off build rounds in, matching ShermanSolver::max_flow).
+  double query_rounds_total = 0.0;
+  double max_congestion = 0.0;      // worst route() congestion observed
+  std::map<std::string, std::int64_t> queries_by_solver;
+
+  // The economic argument for batching: the one-off build cost spread
+  // over every query served so far.
+  [[nodiscard]] double amortized_build_seconds_per_query() const {
+    return queries_served > 0
+               ? build_seconds / static_cast<double>(queries_served)
+               : build_seconds;
+  }
+};
+
+// --- engine ------------------------------------------------------------------
+
+struct EngineOptions {
+  ShermanOptions sherman;  // default accuracy + hierarchy parameters
+  // When the caller leaves sherman.route_residual_tolerance at the
+  // library default, the engine raises it to epsilon/4: the exact tree
+  // rerouting absorbs the leftover either way, the congestion bound
+  // degrades by far less than the (1+eps) budget, and queries shed most
+  // of their AlmostRoute calls — the second half (besides hierarchy
+  // amortization) of the engine's throughput story. Set to false to keep
+  // the library's conservative routing untouched.
+  bool tune_routing_for_throughput = true;
+  // Worker threads for batch execution; 0 = all hardware threads.
+  int threads = 0;
+  // Threads for the one-off virtual-tree sampling; 0 = same as `threads`,
+  // 1 = keep the build sequential.
+  int sample_threads = 0;
+  // Registry policy knobs (see SolverRegistry::standard).
+  NodeId exact_cutoff_nodes = 64;
+  double exact_epsilon = 1e-6;
+  // Seed for the hierarchy build and for per-query RNG derivation.
+  std::uint64_t seed = 0x5eed0f10eULL;
+};
+
+class FlowEngine {
+ public:
+  // Builds the hierarchy immediately (the expensive step).
+  explicit FlowEngine(Graph graph, EngineOptions options = {});
+
+  // The shared hierarchy holds a pointer into graph_, so relocating the
+  // engine would dangle it.
+  FlowEngine(const FlowEngine&) = delete;
+  FlowEngine& operator=(const FlowEngine&) = delete;
+  FlowEngine(FlowEngine&&) = delete;
+  FlowEngine& operator=(FlowEngine&&) = delete;
+
+  // Execute a batch; outcome[i] corresponds to queries[i]. Queries run
+  // concurrently on the worker pool; per-query failures are reported in
+  // the outcome, never thrown.
+  std::vector<QueryOutcome> run_batch(const std::vector<EngineQuery>& queries);
+
+  // Single-query convenience; equivalent to a batch of one.
+  QueryOutcome run(const EngineQuery& query);
+
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] const ShermanHierarchy& hierarchy() const {
+    return *hierarchy_;
+  }
+  [[nodiscard]] const SolverRegistry& registry() const { return registry_; }
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] QueryOutcome execute(const EngineQuery& query) const;
+  [[nodiscard]] QueryOutcome execute_max_flow(const MaxFlowQuery& q) const;
+  [[nodiscard]] QueryOutcome execute_route(const RouteQuery& q) const;
+  [[nodiscard]] QueryOutcome execute_multi_terminal(
+      const MultiTerminalQuery& q) const;
+  // Seed for a query's private RNG stream: a content hash mixed with the
+  // engine seed, so the result is independent of batch position.
+  [[nodiscard]] std::uint64_t query_seed(const MultiTerminalQuery& q) const;
+  void absorb(const QueryOutcome& outcome);
+
+  Graph graph_;
+  EngineOptions options_;
+  // stats_ precedes hierarchy_: the hierarchy initializer times the build
+  // and records it in stats_, which therefore must be constructed first.
+  EngineStats stats_;
+  std::shared_ptr<const ShermanHierarchy> hierarchy_;
+  ShermanSolver solver_;  // default-accuracy solver on the shared hierarchy
+  SolverRegistry registry_;
+};
+
+}  // namespace dmf

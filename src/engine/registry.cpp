@@ -1,0 +1,47 @@
+#include "engine/registry.h"
+
+#include <utility>
+
+#include "util/require.h"
+
+namespace dmf {
+
+void SolverRegistry::add(SolverEntry entry) {
+  DMF_REQUIRE(!entry.name.empty(), "SolverRegistry: entry needs a name");
+  DMF_REQUIRE(entry.eligible != nullptr,
+              "SolverRegistry: entry needs a predicate");
+  entries_.push_back(std::move(entry));
+}
+
+const SolverEntry& SolverRegistry::select(const QueryProfile& profile) const {
+  for (const SolverEntry& entry : entries_) {
+    if (entry.eligible(profile)) return entry;
+  }
+  DMF_REQUIRE(false, "SolverRegistry: no solver eligible for profile");
+  return entries_.front();  // unreachable
+}
+
+const SolverEntry& SolverRegistry::entry(std::size_t i) const {
+  DMF_REQUIRE(i < entries_.size(), "SolverRegistry: bad entry index");
+  return entries_[i];
+}
+
+SolverRegistry SolverRegistry::standard(NodeId exact_cutoff_nodes,
+                                        double exact_epsilon) {
+  const auto exactish = [exact_cutoff_nodes,
+                         exact_epsilon](const QueryProfile& p) {
+    return p.want_exact || p.n <= exact_cutoff_nodes ||
+           p.epsilon <= exact_epsilon;
+  };
+  SolverRegistry registry;
+  registry.add({"push-relabel-exact", SolverKind::kPushRelabel,
+                [exactish](const QueryProfile& p) {
+                  return exactish(p) && p.m >= 8 * std::max<EdgeId>(1, p.n);
+                }});
+  registry.add({"dinic-exact", SolverKind::kDinic, exactish});
+  registry.add({"sherman-approx", SolverKind::kSherman,
+                [](const QueryProfile&) { return true; }});
+  return registry;
+}
+
+}  // namespace dmf

@@ -1,0 +1,66 @@
+// Solver selection for the FlowEngine.
+//
+// The engine serves heterogeneous max-flow queries against one graph. Not
+// every query should pay the approximate machinery: tiny instances are
+// solved faster (and exactly) by the classical baselines, and a caller may
+// demand exactness outright. The registry holds an ordered list of solver
+// entries, each with an eligibility predicate over the query profile
+// (instance size, requested accuracy); selection returns the first
+// eligible entry. The standard registry dispatches to Dinic or
+// push-relabel for small-or-exact queries and to the shared Sherman
+// hierarchy otherwise.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmf {
+
+enum class SolverKind {
+  kDinic,        // exact, best on sparse residual graphs
+  kPushRelabel,  // exact, preferred on dense instances
+  kSherman,      // (1+eps)-approximate on the shared hierarchy
+};
+
+// What the registry knows about a query when choosing a solver.
+struct QueryProfile {
+  NodeId n = 0;
+  EdgeId m = 0;
+  double epsilon = 0.25;    // requested accuracy (<= 0 means "exact")
+  bool want_exact = false;  // caller demands an exact answer
+};
+
+struct SolverEntry {
+  std::string name;
+  SolverKind kind = SolverKind::kSherman;
+  // Returns true when this solver should serve the profile. Entries are
+  // consulted in registration order; the first hit wins.
+  std::function<bool(const QueryProfile&)> eligible;
+};
+
+class SolverRegistry {
+ public:
+  void add(SolverEntry entry);
+
+  [[nodiscard]] const SolverEntry& select(const QueryProfile& profile) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const SolverEntry& entry(std::size_t i) const;
+
+  // The default policy:
+  //   * push-relabel for exact-or-tiny dense instances (m >= 8 n),
+  //   * Dinic for every other exact-or-tiny instance,
+  //   * Sherman for the rest.
+  // "Tiny" means n <= exact_cutoff_nodes; "exact" means want_exact or
+  // epsilon <= exact_epsilon (an accuracy no approximate run can promise).
+  static SolverRegistry standard(NodeId exact_cutoff_nodes,
+                                 double exact_epsilon);
+
+ private:
+  std::vector<SolverEntry> entries_;
+};
+
+}  // namespace dmf

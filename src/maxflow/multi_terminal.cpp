@@ -6,36 +6,48 @@
 
 namespace dmf {
 
-MultiTerminalMaxFlowResult approx_max_flow_multi(
+SuperTerminalGraph build_super_terminal_graph(
     const Graph& g, const std::vector<NodeId>& sources,
-    const std::vector<NodeId>& sinks, double epsilon, Rng& rng) {
+    const std::vector<NodeId>& sinks) {
   DMF_REQUIRE(!sources.empty() && !sinks.empty(),
-              "approx_max_flow_multi: empty terminal set");
+              "super_terminal_graph: empty terminal set");
   std::vector<char> is_source(static_cast<std::size_t>(g.num_nodes()), 0);
   for (const NodeId s : sources) {
-    DMF_REQUIRE(g.is_valid_node(s), "approx_max_flow_multi: bad source");
+    DMF_REQUIRE(g.is_valid_node(s), "super_terminal_graph: bad source");
     is_source[static_cast<std::size_t>(s)] = 1;
   }
   for (const NodeId t : sinks) {
-    DMF_REQUIRE(g.is_valid_node(t), "approx_max_flow_multi: bad sink");
+    DMF_REQUIRE(g.is_valid_node(t), "super_terminal_graph: bad sink");
     DMF_REQUIRE(!is_source[static_cast<std::size_t>(t)],
-                "approx_max_flow_multi: terminal sets must be disjoint");
+                "super_terminal_graph: terminal sets must be disjoint");
   }
 
-  // Build the augmented graph with super-terminals.
-  Graph augmented(g.num_nodes() + 2);
+  SuperTerminalGraph out;
+  out.graph = Graph(g.num_nodes() + 2);
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     const EdgeEndpoints ep = g.endpoints(e);
-    augmented.add_edge(ep.u, ep.v, g.capacity(e));
+    out.graph.add_edge(ep.u, ep.v, g.capacity(e));
   }
-  const NodeId super_s = g.num_nodes();
-  const NodeId super_t = g.num_nodes() + 1;
+  out.super_source = g.num_nodes();
+  out.super_sink = g.num_nodes() + 1;
   for (const NodeId s : sources) {
-    augmented.add_edge(super_s, s, std::max(1e-9, g.weighted_degree(s)));
+    out.graph.add_edge(out.super_source, s,
+                       std::max(1e-9, g.weighted_degree(s)));
   }
   for (const NodeId t : sinks) {
-    augmented.add_edge(t, super_t, std::max(1e-9, g.weighted_degree(t)));
+    out.graph.add_edge(t, out.super_sink,
+                       std::max(1e-9, g.weighted_degree(t)));
   }
+  return out;
+}
+
+MultiTerminalMaxFlowResult approx_max_flow_multi(
+    const Graph& g, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& sinks, double epsilon, Rng& rng) {
+  const SuperTerminalGraph st = build_super_terminal_graph(g, sources, sinks);
+  const Graph& augmented = st.graph;
+  const NodeId super_s = st.super_source;
+  const NodeId super_t = st.super_sink;
 
   ShermanOptions options;
   options.epsilon = epsilon;

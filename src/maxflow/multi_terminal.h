@@ -23,6 +23,22 @@ struct MultiTerminalMaxFlowResult {
   bool converged = true;
 };
 
+// The super-terminal reduction shared by the approximate path below and
+// the engine's exact dispatch: g plus super-source/super-sink, each wired
+// to its terminals with capacity max(1e-9, weighted degree) so the
+// virtual edges are never the binding cut. g's edges come first and keep
+// their ids, so a flow on `graph` projects back by truncation.
+struct SuperTerminalGraph {
+  Graph graph;
+  NodeId super_source = kInvalidNode;
+  NodeId super_sink = kInvalidNode;
+};
+
+// sources and sinks must be non-empty, valid, and disjoint (checked).
+SuperTerminalGraph build_super_terminal_graph(
+    const Graph& g, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& sinks);
+
 // sources and sinks must be non-empty and disjoint.
 MultiTerminalMaxFlowResult approx_max_flow_multi(
     const Graph& g, const std::vector<NodeId>& sources,

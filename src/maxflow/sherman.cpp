@@ -12,28 +12,28 @@
 
 namespace dmf {
 
-ShermanSolver::ShermanSolver(const Graph& g, const ShermanOptions& options,
-                             Rng& rng)
-    : graph_(&g), options_(options) {
-  DMF_REQUIRE(g.num_nodes() >= 2, "ShermanSolver: need >= 2 nodes");
-  DMF_REQUIRE(is_connected(g), "ShermanSolver: graph must be connected");
+ShermanHierarchy::ShermanHierarchy(const Graph& g,
+                                   const ShermanOptions& options, Rng& rng)
+    : graph_(&g) {
+  DMF_REQUIRE(g.num_nodes() >= 2, "ShermanHierarchy: need >= 2 nodes");
+  DMF_REQUIRE(is_connected(g), "ShermanHierarchy: graph must be connected");
   const int num_trees =
-      options_.num_trees > 0
-          ? options_.num_trees
+      options.num_trees > 0
+          ? options.num_trees
           : static_cast<int>(std::ceil(
                 3.0 * std::log2(static_cast<double>(g.num_nodes()))));
   std::vector<VirtualTreeSample> samples =
-      sample_virtual_trees(g, num_trees, options_.hierarchy, rng);
+      sample_virtual_trees(g, num_trees, options.hierarchy, rng);
   for (const VirtualTreeSample& sample : samples) {
     build_rounds_ += sample.rounds;
   }
-  approximator_ = std::make_unique<CongestionApproximator>(
+  approximator_ = std::make_unique<const CongestionApproximator>(
       CongestionApproximator::from_samples(std::move(samples)));
-  if (options_.alpha > 0.0) {
-    alpha_ = options_.alpha;
+  if (options.alpha > 0.0) {
+    alpha_ = options.alpha;
   } else {
     const AlphaEstimate est =
-        estimate_alpha(g, *approximator_, options_.alpha_samples, rng);
+        estimate_alpha(g, *approximator_, options.alpha_samples, rng);
     // The gradient descent needs alpha >= the true approximation factor;
     // pad the sampled estimate. The clamp trades a little theoretical
     // slack for bounded step sizes: iterations scale with alpha^2, and an
@@ -46,6 +46,19 @@ ShermanSolver::ShermanSolver(const Graph& g, const ShermanOptions& options,
   double mst_rounds = 0.0;
   mwst_ = boruvka_max_weight_tree(g, 0, &mst_rounds);
   build_rounds_ += mst_rounds;
+}
+
+ShermanSolver::ShermanSolver(const Graph& g, const ShermanOptions& options,
+                             Rng& rng)
+    : hierarchy_(std::make_shared<const ShermanHierarchy>(g, options, rng)),
+      graph_(&g),
+      options_(options) {}
+
+ShermanSolver::ShermanSolver(std::shared_ptr<const ShermanHierarchy> hierarchy,
+                             const ShermanOptions& options)
+    : hierarchy_(std::move(hierarchy)), graph_(nullptr), options_(options) {
+  DMF_REQUIRE(hierarchy_ != nullptr, "ShermanSolver: null hierarchy");
+  graph_ = &hierarchy_->graph();
 }
 
 RouteResult ShermanSolver::route(const std::vector<double>& demand) const {
@@ -71,14 +84,15 @@ RouteResult ShermanSolver::route(const std::vector<double>& demand) const {
   std::vector<double> residual = demand;
 
   AlmostRouteOptions ar = options_.almost_route;
-  ar.alpha = alpha_;
-  const double stop_threshold = 1e-7 * scale_hint;
+  ar.alpha = hierarchy_->alpha();
+  const double stop_threshold =
+      options_.route_residual_tolerance * scale_hint;
   for (int call = 0; call < max_calls; ++call) {
     double residual_mass = 0.0;
     for (const double r : residual) residual_mass += std::abs(r);
     if (residual_mass <= stop_threshold) break;
     const AlmostRouteResult step =
-        almost_route(g, *approximator_, residual, ar);
+        almost_route(g, hierarchy_->approximator(), residual, ar);
     ++result.almost_route_calls;
     result.gradient_iterations += step.iterations;
     result.rounds += step.rounds;
@@ -94,7 +108,7 @@ RouteResult ShermanSolver::route(const std::vector<double>& demand) const {
   // Lemma 9.1: reroute the leftover exactly through the max-weight
   // spanning tree; afterwards the flow routes `demand` exactly.
   const std::vector<double> tree_flow =
-      route_demand_on_spanning_tree(g, mwst_, residual);
+      route_demand_on_spanning_tree(g, hierarchy_->mwst(), residual);
   for (std::size_t e = 0; e < m; ++e) result.flow[e] += tree_flow[e];
   const congest::CostModel cost{.n = static_cast<int>(n),
                                 .diameter = build_bfs_tree(g, 0).height};
@@ -108,9 +122,9 @@ MaxFlowApproxResult ShermanSolver::max_flow(NodeId s, NodeId t) const {
   DMF_REQUIRE(g.is_valid_node(s) && g.is_valid_node(t) && s != t,
               "max_flow: bad terminals");
   MaxFlowApproxResult out;
-  out.alpha = alpha_;
-  out.num_trees = approximator_->num_trees();
-  out.rounds = build_rounds_;
+  out.alpha = hierarchy_->alpha();
+  out.num_trees = hierarchy_->approximator().num_trees();
+  out.rounds = hierarchy_->build_rounds();
 
   // Route a unit s-t demand with near-optimal congestion; homogeneity
   // turns the congestion into a max-flow value.
@@ -134,24 +148,25 @@ MaxFlowApproxResult ShermanSolver::max_flow_binary_search(NodeId s,
   DMF_REQUIRE(g.is_valid_node(s) && g.is_valid_node(t) && s != t,
               "max_flow_binary_search: bad terminals");
   MaxFlowApproxResult out;
-  out.alpha = alpha_;
-  out.num_trees = approximator_->num_trees();
-  out.rounds = build_rounds_;
+  out.alpha = hierarchy_->alpha();
+  out.num_trees = hierarchy_->approximator().num_trees();
+  out.rounds = hierarchy_->build_rounds();
 
   // Initial bracket from the congestion approximator: for the unit s-t
   // demand, opt congestion is in [||Rb||, alpha ||Rb||], so the max flow
   // lies in [1/(alpha ||Rb||), 1/||Rb||].
   const std::vector<double> unit = st_demand(g.num_nodes(), s, t, 1.0);
-  const double norm = approximator_->congestion_norm(unit);
+  const double norm = hierarchy_->approximator().congestion_norm(unit);
   DMF_REQUIRE(norm > 0.0, "max_flow_binary_search: degenerate demand");
-  double lo = 1.0 / (alpha_ * norm);
+  const double alpha = hierarchy_->alpha();
+  double lo = 1.0 / (alpha * norm);
   double hi = 1.2 / norm;  // small headroom over the analytic bound
   const double eps = options_.epsilon;
 
   std::vector<double> best_flow;
   double best_value = 0.0;
   const int steps = std::max(
-      4, static_cast<int>(std::ceil(std::log2(alpha_ / std::max(eps, 1e-3)))));
+      4, static_cast<int>(std::ceil(std::log2(alpha / std::max(eps, 1e-3)))));
   for (int step = 0; step < steps; ++step) {
     const double mid = 0.5 * (lo + hi);
     const RouteResult routed = route(st_demand(g.num_nodes(), s, t, mid));
@@ -193,7 +208,7 @@ ShermanSolver::ApproxMinCut ShermanSolver::approx_min_cut(NodeId s,
   int best_tree = -1;
   NodeId best_link = kInvalidNode;
   double best_congestion = -1.0;
-  const CongestionApproximator& approx = *approximator_;
+  const CongestionApproximator& approx = hierarchy_->approximator();
   const auto y = approx.apply(b, 1.0);
   for (int tr = 0; tr < approx.num_trees(); ++tr) {
     const RootedTree& tree = approx.tree(tr);

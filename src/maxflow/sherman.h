@@ -30,6 +30,14 @@ struct ShermanOptions {
   double alpha = 0.0;           // 0 = estimate empirically after sampling
   int alpha_samples = 12;       // s-t pairs used by the alpha estimate
   int max_almost_route_calls = 0;  // 0 = ceil(log2 m) + 2
+  // route() hands the residual to the exact Lemma 9.1 tree rerouting once
+  // its mass falls below this fraction of the demand scale. The default
+  // drives the residual to numerical noise (~log m AlmostRoute calls of
+  // roughly equal cost). Raising it trades a bounded extra congestion of
+  // O(tolerance * tree congestion) — still well inside the (1+eps)
+  // promise for tolerance << eps — for a proportional cut in AlmostRoute
+  // calls; the FlowEngine uses this for batched throughput.
+  double route_residual_tolerance = 1e-7;
   AlmostRouteOptions almost_route;
   HierarchyOptions hierarchy;
 };
@@ -53,11 +61,48 @@ struct MaxFlowApproxResult {
   bool converged = true;
 };
 
+// The expensive, query-independent half of the solver: the sampled
+// congestion-approximator hierarchy, the empirical alpha, and the
+// max-weight spanning tree for the Lemma 9.1 rerouting. Built once per
+// graph; afterwards it is immutable and may be const-queried from any
+// number of solvers and threads concurrently. ShermanOptions.hierarchy
+// .threads parallelizes the virtual-tree sampling (trees are independent)
+// with per-tree RNG streams, so the build is reproducible at any thread
+// count.
+class ShermanHierarchy {
+ public:
+  ShermanHierarchy(const Graph& g, const ShermanOptions& options, Rng& rng);
+
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+  [[nodiscard]] const CongestionApproximator& approximator() const {
+    return *approximator_;
+  }
+  [[nodiscard]] const RootedTree& mwst() const { return mwst_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double build_rounds() const { return build_rounds_; }
+
+ private:
+  const Graph* graph_;
+  std::unique_ptr<const CongestionApproximator> approximator_;
+  RootedTree mwst_;  // max-weight spanning tree for residual rerouting
+  double alpha_ = 2.0;
+  double build_rounds_ = 0.0;
+};
+
 // A solver bundles the sampled congestion approximator (expensive, built
-// once) with the routing routines (cheap per call).
+// once) with the routing routines (cheap per call). Constructing one from
+// a shared ShermanHierarchy is O(1); many solvers (or one solver used
+// from many threads — every query method is const and thread-safe) can
+// amortize a single hierarchy build across arbitrarily many queries.
 class ShermanSolver {
  public:
+  // Builds a private hierarchy, then behaves as before.
   ShermanSolver(const Graph& g, const ShermanOptions& options, Rng& rng);
+
+  // Shares a prebuilt hierarchy; no sampling happens. The hierarchy must
+  // outlive the solver (shared_ptr enforces it).
+  ShermanSolver(std::shared_ptr<const ShermanHierarchy> hierarchy,
+                const ShermanOptions& options);
 
   // Route an arbitrary demand vector (sum ~ 0) exactly; near-optimal
   // congestion.
@@ -83,18 +128,24 @@ class ShermanSolver {
   [[nodiscard]] ApproxMinCut approx_min_cut(NodeId s, NodeId t) const;
 
   [[nodiscard]] const CongestionApproximator& approximator() const {
-    return *approximator_;
+    return hierarchy_->approximator();
   }
-  [[nodiscard]] double alpha() const { return alpha_; }
-  [[nodiscard]] double build_rounds() const { return build_rounds_; }
+  [[nodiscard]] const ShermanHierarchy& hierarchy() const {
+    return *hierarchy_;
+  }
+  [[nodiscard]] std::shared_ptr<const ShermanHierarchy> shared_hierarchy()
+      const {
+    return hierarchy_;
+  }
+  [[nodiscard]] double alpha() const { return hierarchy_->alpha(); }
+  [[nodiscard]] double build_rounds() const {
+    return hierarchy_->build_rounds();
+  }
 
  private:
-  const Graph* graph_;
+  std::shared_ptr<const ShermanHierarchy> hierarchy_;
+  const Graph* graph_;  // == &hierarchy_->graph()
   ShermanOptions options_;
-  std::unique_ptr<CongestionApproximator> approximator_;
-  RootedTree mwst_;  // max-weight spanning tree for residual rerouting
-  double alpha_ = 2.0;
-  double build_rounds_ = 0.0;
 };
 
 // One-shot convenience wrapper.

@@ -284,5 +284,37 @@ TEST_P(HierarchyFamilies, ValidAndCutDominating) {
 
 INSTANTIATE_TEST_SUITE_P(Families, HierarchyFamilies, ::testing::Range(0, 12));
 
+TEST(Hierarchy, ParallelSamplingIsDeterministicAcrossThreadCounts) {
+  Rng graph_rng(7001);
+  const Graph g = make_gnp_connected(64, 0.09, {1, 8}, graph_rng);
+  std::vector<std::vector<VirtualTreeSample>> runs;
+  for (const int threads : {1, 2, 4}) {
+    HierarchyOptions options;
+    options.threads = threads;
+    Rng rng(424242);
+    runs.push_back(sample_virtual_trees(g, 6, options, rng));
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[r][i].tree.root, runs[0][i].tree.root);
+      EXPECT_EQ(runs[r][i].tree.parent, runs[0][i].tree.parent);
+      EXPECT_EQ(runs[r][i].tree.parent_cap, runs[0][i].tree.parent_cap);
+      EXPECT_EQ(runs[r][i].tree.parent_edge, runs[0][i].tree.parent_edge);
+      EXPECT_EQ(runs[r][i].levels, runs[0][i].levels);
+    }
+  }
+}
+
+TEST(Hierarchy, SamplingAdvancesCallerRngByOneDrawPerTree) {
+  Rng graph_rng(7003);
+  const Graph g = make_gnp_connected(40, 0.12, {1, 6}, graph_rng);
+  HierarchyOptions options;
+  Rng a(99), b(99);
+  (void)sample_virtual_trees(g, 5, options, a);
+  for (int i = 0; i < 5; ++i) (void)b();
+  EXPECT_EQ(a(), b());
+}
+
 }  // namespace
 }  // namespace dmf
