@@ -1,0 +1,128 @@
+// A long-lived flow service loop on the FlowEngine session API.
+//
+// Models the ROADMAP's "heavy traffic" shape: a service thread keeps
+// submitting work in waves while completions stream back out of order
+// through callbacks, stats are polled mid-flight, a low-priority batch
+// job coexists with high-priority interactive queries, and stragglers
+// are cancelled when their wave's deadline passes.
+//
+//   ./example_flow_service [n] [waves] [wave_queries] [threads] [seed]
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "engine/engine.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace dmf;
+  const NodeId n = argc > 1 ? std::atoi(argv[1]) : 200;
+  const int waves = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int wave_queries = argc > 3 ? std::atoi(argv[3]) : 12;
+  const int threads = argc > 4 ? std::atoi(argv[4]) : 0;
+  const std::uint64_t seed =
+      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 99;
+
+  Rng rng(seed);
+  const Graph g = make_gnp_connected(n, 3.5 / n, {1, 16}, rng);
+  EngineOptions options;
+  options.threads = threads;
+  options.seed = seed;
+  FlowEngine engine(g, options);
+  std::printf("service up: %s; %d trees, built in %.3fs\n",
+              g.summary().c_str(), engine.stats().num_trees,
+              engine.stats().build_seconds);
+
+  // A background batch job at low priority: it only runs when the
+  // interactive waves leave workers idle. Completion lands in a callback.
+  std::atomic<int> background_done{0};
+  std::vector<MultiTerminalTicket> background;
+  for (int d = 0; d < 3; ++d) {
+    background.push_back(engine.submit(
+        MultiTerminalQuery{{static_cast<NodeId>(d),
+                            static_cast<NodeId>(d + 1)},
+                           {static_cast<NodeId>(n - 1 - d),
+                            static_cast<NodeId>(n - 2 - d)}},
+        [&background_done](const Result<MultiTerminalMaxFlowResult>& r) {
+          if (r.ok()) background_done.fetch_add(1);
+        },
+        SubmitOptions{/*priority=*/-10}));
+  }
+
+  std::atomic<int> completed{0};
+  std::atomic<int> failed{0};
+  double value_sum = 0.0;  // only touched after wait_all
+  for (int wave = 0; wave < waves; ++wave) {
+    std::vector<MaxFlowTicket> inflight;
+    std::atomic<int> wave_completed{0};
+    for (int i = 0; i < wave_queries; ++i) {
+      const NodeId s = static_cast<NodeId>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      NodeId t = s;
+      while (t == s) {
+        t = static_cast<NodeId>(
+            rng.next_below(static_cast<std::uint64_t>(n)));
+      }
+      // Interactive traffic outranks the background job; completions
+      // stream through the callback as workers finish, in whatever order
+      // the pool reaches them.
+      inflight.push_back(engine.submit(
+          MaxFlowQuery{s, t},
+          [&completed, &failed, &wave_completed](
+              const Result<MaxFlowApproxResult>& r) {
+            if (r.ok()) {
+              completed.fetch_add(1);
+            } else if (r.code != ErrorCode::kCancelled) {
+              failed.fetch_add(1);
+            }
+            wave_completed.fetch_add(1);
+          },
+          SubmitOptions{/*priority=*/wave}));
+    }
+    // Poll mid-wave, like a metrics endpoint would.
+    const EngineStats mid = engine.stats();
+    std::printf(
+        "wave %d: %d submitted, %d of them already done; served so far "
+        "%lld, cache %lld/%lld hit/miss\n",
+        wave, wave_queries, wave_completed.load(),
+        static_cast<long long>(mid.queries_served),
+        static_cast<long long>(mid.hierarchy_cache_hits),
+        static_cast<long long>(mid.hierarchy_cache_misses));
+    // Deadline: cancel the back half of the wave if it has not started
+    // yet — a stand-in for request timeouts. Cancelled tickets resolve
+    // with ErrorCode::kCancelled instead of hanging around.
+    int cancelled_in_wave = 0;
+    if (wave % 2 == 1) {
+      for (std::size_t i = inflight.size() / 2; i < inflight.size(); ++i) {
+        if (inflight[i].cancel()) ++cancelled_in_wave;
+      }
+    }
+    for (MaxFlowTicket& ticket : inflight) {
+      Result<MaxFlowApproxResult> r = ticket.get();
+      if (r.ok()) value_sum += r.value().value;
+    }
+    if (cancelled_in_wave > 0) {
+      std::printf("wave %d: cancelled %d queued stragglers\n", wave,
+                  cancelled_in_wave);
+    }
+  }
+
+  engine.wait_all();  // background job included
+  for (MultiTerminalTicket& ticket : background) {
+    Result<MultiTerminalMaxFlowResult> r = ticket.get();
+    if (r.ok()) value_sum += r.value().value;
+  }
+
+  const EngineStats stats = engine.stats();
+  std::printf("\nshutting down: %d interactive ok, %d failed, %d background "
+              "ok, value sum %.3f\n",
+              completed.load(), failed.load(), background_done.load(),
+              value_sum);
+  std::printf("served %lld, cancelled %lld, amortized build %.4fs/query\n",
+              static_cast<long long>(stats.queries_served),
+              static_cast<long long>(stats.queries_cancelled),
+              stats.amortized_build_seconds_per_query());
+  return 0;
+}

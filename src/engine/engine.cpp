@@ -1,14 +1,16 @@
 #include "engine/engine.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <cstring>
+#include <cmath>
 #include <exception>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "baselines/adapters.h"
+#include "engine/hierarchy_cache.h"
 #include "graph/flow.h"
 #include "util/rng.h"
 
@@ -22,230 +24,533 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-int resolve_threads(int requested) {
-  if (requested > 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
-}
-
-// Content hashing for per-query RNG streams (FNV-1a over 64-bit words).
+// Content hashing for per-terminal-set RNG streams (FNV-1a over 64-bit
+// words).
 struct ContentHash {
   std::uint64_t state = 0xcbf29ce484222325ULL;
   void mix(std::uint64_t word) {
     state ^= word;
     state *= 0x100000001b3ULL;
   }
-  void mix_double(double x) {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &x, sizeof(bits));
-    mix(bits);
-  }
 };
 
 }  // namespace
 
+// --- Core --------------------------------------------------------------------
+
+struct FlowEngine::Core {
+  std::shared_ptr<const Graph> graph;
+  EngineOptions options;
+  // stats precedes hierarchy: the hierarchy initializer times the build
+  // and records it in stats, which therefore must be constructed first.
+  EngineStats stats;
+  mutable std::mutex stats_mutex;
+  // Whether the engine derived route_residual_tolerance itself (the
+  // caller left it at the library default with tuning enabled); only
+  // then may per-query option derivation re-derive it.
+  bool routing_tuned = false;
+  std::shared_ptr<const ShermanHierarchy> hierarchy;
+  ShermanSolver solver;  // default-accuracy solver on the shared hierarchy
+  SolverRegistry registry;
+  HierarchyCache cache;
+
+  Core(Graph g, EngineOptions opts)
+      : graph(std::make_shared<const Graph>(std::move(g))),
+        options(std::move(opts)),
+        hierarchy([&] {
+          // Derive the AlmostRoute accuracy from the engine accuracy when
+          // the caller left it at the library default, mirroring
+          // approx_max_flow / approx_max_flow_multi.
+          if (options.sherman.almost_route.epsilon ==
+              AlmostRouteOptions{}.epsilon) {
+            options.sherman.almost_route.epsilon =
+                std::min(0.5, options.sherman.epsilon);
+          }
+          if (options.tune_routing_for_throughput &&
+              options.sherman.route_residual_tolerance ==
+                  ShermanOptions{}.route_residual_tolerance) {
+            options.sherman.route_residual_tolerance =
+                options.sherman.epsilon / 4.0;
+            routing_tuned = true;
+          }
+          ShermanOptions sherman = options.sherman;
+          if (sherman.hierarchy.threads == 1) {
+            // The engine parallelizes the build on its own worker budget;
+            // sample_threads is the engine-level pin (sample_threads = 1
+            // keeps the build sequential).
+            sherman.hierarchy.threads =
+                options.sample_threads > 0
+                    ? options.sample_threads
+                    : resolve_worker_threads(options.threads);
+          }
+          const auto start = std::chrono::steady_clock::now();
+          Rng rng(options.seed);
+          auto built =
+              std::make_shared<const ShermanHierarchy>(graph, sherman, rng);
+          stats.build_seconds = seconds_since(start);
+          return built;
+        }()),
+        solver(hierarchy, options.sherman),
+        registry(SolverRegistry::standard(options.exact_cutoff_nodes,
+                                          options.exact_epsilon)),
+        cache(options.hierarchy_cache_capacity) {
+    stats.build_rounds = hierarchy->build_rounds();
+    stats.num_trees = hierarchy->approximator().num_trees();
+    stats.alpha = hierarchy->alpha();
+  }
+
+  // Per-query ShermanOptions for a non-default accuracy, mirroring the
+  // engine-level derivation.
+  [[nodiscard]] ShermanOptions options_for_epsilon(double epsilon) const {
+    ShermanOptions per_query = options.sherman;
+    if (epsilon > 0.0 && epsilon != options.sherman.epsilon) {
+      per_query.epsilon = epsilon;
+      per_query.almost_route.epsilon = std::min(0.5, epsilon);
+      if (routing_tuned) {
+        per_query.route_residual_tolerance = epsilon / 4.0;
+      }
+    }
+    return per_query;
+  }
+
+  // Multi-terminal variant: on the super-terminal instance the virtual
+  // edges carry the whole flow, so leftover residual shaves value
+  // directly — the epsilon/4 tolerance that costs s-t queries well under
+  // 1% costs multi-terminal queries ~2%. Tune gentler (epsilon/16, one
+  // extra AlmostRoute call) to stay within ~0.1% of the conservative
+  // routing while remaining several times faster than untuned.
+  [[nodiscard]] ShermanOptions multi_terminal_options_for_epsilon(
+      double epsilon) const {
+    ShermanOptions per_query = options_for_epsilon(epsilon);
+    if (routing_tuned) {
+      per_query.route_residual_tolerance = epsilon / 16.0;
+    }
+    return per_query;
+  }
+
+  // Seed for a terminal set's hierarchy build: a content hash of the
+  // canonical sets mixed with the engine seed. Independent of epsilon,
+  // submission order, and everything else in flight — the cornerstone of
+  // the cache's determinism contract.
+  [[nodiscard]] std::uint64_t terminal_seed(
+      const std::vector<NodeId>& sources,
+      const std::vector<NodeId>& sinks) const {
+    ContentHash h;
+    h.mix(options.seed);
+    h.mix(0x4d54ULL);  // tag: multi-terminal
+    for (const NodeId s : sources) h.mix(static_cast<std::uint64_t>(s));
+    h.mix(0xffffffffffffffffULL);
+    for (const NodeId t : sinks) h.mix(static_cast<std::uint64_t>(t));
+    return h.state;
+  }
+
+  [[nodiscard]] SuperTerminalHierarchy build_entry(
+      const std::vector<NodeId>& sources,
+      const std::vector<NodeId>& sinks) const {
+    ShermanOptions sherman = options.sherman;
+    // Cache builds run on pool workers, possibly several keys at once;
+    // keep each build's tree sampling sequential instead of
+    // oversubscribing the machine.
+    sherman.hierarchy.threads = 1;
+    Rng rng(terminal_seed(sources, sinks));
+    return build_super_terminal_hierarchy(*graph, sources, sinks, sherman,
+                                          rng);
+  }
+
+  // --- typed execution (validation, dispatch, classification) ---
+
+  Result<MaxFlowApproxResult> exec(const MaxFlowQuery& q) {
+    using R = Result<MaxFlowApproxResult>;
+    const Graph& g = *graph;
+    if (!g.is_valid_node(q.s) || !g.is_valid_node(q.t)) {
+      return R::failure(ErrorCode::kInvalidQuery,
+                        "max-flow query: invalid terminal id");
+    }
+    if (q.s == q.t) {
+      return R::failure(ErrorCode::kInvalidQuery,
+                        "max-flow query: source equals sink");
+    }
+    R out;
+    try {
+      const double epsilon =
+          q.epsilon > 0.0 ? q.epsilon : options.sherman.epsilon;
+      const QueryProfile profile{g.num_nodes(), g.num_edges(), epsilon,
+                                 q.exact};
+      const SolverEntry& entry = registry.select(profile);
+      out.solver = entry.name;
+      if (entry.kind == SolverKind::kSherman) {
+        if (q.epsilon > 0.0 && q.epsilon != options.sherman.epsilon) {
+          const ShermanSolver per_query(hierarchy,
+                                        options_for_epsilon(q.epsilon));
+          out.payload = per_query.max_flow(q.s, q.t);
+        } else {
+          out.payload = solver.max_flow(q.s, q.t);
+        }
+      } else {
+        out.payload = exact_max_flow_adapter(entry.kind, g, q.s, q.t);
+      }
+    } catch (const std::exception& e) {
+      out.code = classify_error(e);
+      out.message = e.what();
+      out.payload.reset();
+    }
+    return out;
+  }
+
+  Result<RouteResult> exec(const RouteQuery& q) {
+    using R = Result<RouteResult>;
+    const Graph& g = *graph;
+    if (q.demand.size() != static_cast<std::size_t>(g.num_nodes())) {
+      return R::failure(ErrorCode::kInvalidQuery,
+                        "route query: demand size does not match node count");
+    }
+    double total = 0.0;
+    double scale_hint = 0.0;
+    for (const double d : q.demand) {
+      total += d;
+      scale_hint = std::max(scale_hint, std::abs(d));
+    }
+    if (std::abs(total) > 1e-6 * (1.0 + scale_hint)) {
+      return R::failure(ErrorCode::kInvalidQuery,
+                        "route query: demand must sum to zero");
+    }
+    R out;
+    out.solver = "sherman-route";
+    try {
+      out.payload = solver.route(q.demand);
+    } catch (const std::exception& e) {
+      out.code = classify_error(e);
+      out.message = e.what();
+      out.payload.reset();
+    }
+    return out;
+  }
+
+  Result<MultiTerminalMaxFlowResult> exec(const MultiTerminalQuery& q) {
+    using R = Result<MultiTerminalMaxFlowResult>;
+    const Graph& g = *graph;
+    if (q.sources.empty() || q.sinks.empty()) {
+      return R::failure(ErrorCode::kInvalidQuery,
+                        "multi-terminal query: empty terminal set");
+    }
+    // canonical_terminals is the single canonical form everywhere on
+    // this path: the cache key, terminal_seed, and the build all derive
+    // from it (downstream calls re-canonicalize, which is idempotent),
+    // so the cache key can never desynchronize from the build seed.
+    const std::vector<NodeId> sources = canonical_terminals(q.sources);
+    const std::vector<NodeId> sinks = canonical_terminals(q.sinks);
+    for (const NodeId v : sources) {
+      if (!g.is_valid_node(v)) {
+        return R::failure(ErrorCode::kInvalidQuery,
+                          "multi-terminal query: invalid source id");
+      }
+    }
+    for (const NodeId v : sinks) {
+      if (!g.is_valid_node(v)) {
+        return R::failure(ErrorCode::kInvalidQuery,
+                          "multi-terminal query: invalid sink id");
+      }
+    }
+    for (const NodeId v : sinks) {
+      if (std::binary_search(sources.begin(), sources.end(), v)) {
+        return R::failure(
+            ErrorCode::kInvalidQuery,
+            "multi-terminal query: terminal sets must be disjoint");
+      }
+    }
+    for (const std::vector<NodeId>* set : {&sources, &sinks}) {
+      for (const NodeId v : *set) {
+        if (g.weighted_degree(v) <= 0.0) {
+          return R::failure(ErrorCode::kIsolatedTerminal,
+                            "multi-terminal query: terminal " +
+                                std::to_string(v) +
+                                " has no incident capacity");
+        }
+      }
+    }
+    R out;
+    try {
+      const double epsilon =
+          q.epsilon > 0.0 ? q.epsilon : options.sherman.epsilon;
+      // The super-terminal reduction solves on an augmented instance two
+      // nodes and |S|+|T| edges larger; profile that instance.
+      const auto extra =
+          static_cast<EdgeId>(sources.size() + sinks.size());
+      const QueryProfile profile{g.num_nodes() + 2, g.num_edges() + extra,
+                                 epsilon, q.exact};
+      const SolverEntry& entry = registry.select(profile);
+      out.solver = entry.name;
+      if (entry.kind == SolverKind::kSherman) {
+        const ShermanOptions per_query =
+            multi_terminal_options_for_epsilon(epsilon);
+        if (options.share_multi_terminal_hierarchies) {
+          const std::shared_ptr<const SuperTerminalHierarchy> st =
+              cache.get_or_build(sources, sinks,
+                                 [this](const std::vector<NodeId>& srcs,
+                                        const std::vector<NodeId>& snks) {
+                                   return build_entry(srcs, snks);
+                                 });
+          out.payload = solve_on_super_terminal_hierarchy(*st, per_query);
+        } else {
+          const SuperTerminalHierarchy st = build_entry(sources, sinks);
+          out.payload = solve_on_super_terminal_hierarchy(st, per_query);
+        }
+      } else {
+        // Exact super-terminal reduction, then project the virtual edges
+        // away.
+        const SuperTerminalGraph st =
+            build_super_terminal_graph(g, sources, sinks);
+        const MaxFlowApproxResult raw = exact_max_flow_adapter(
+            entry.kind, st.graph, st.super_source, st.super_sink);
+        out.payload = project_super_terminal_flow(raw, g.num_edges());
+      }
+    } catch (const std::exception& e) {
+      out.code = classify_error(e);
+      out.message = e.what();
+      out.payload.reset();
+    }
+    return out;
+  }
+
+  // --- stats ---
+
+  template <typename T>
+  void absorb_common(const Result<T>& r) {
+    if (!r.ok()) {
+      ++stats.queries_failed;
+      return;
+    }
+    ++stats.queries_served;
+    stats.query_seconds_total += r.seconds;
+    ++stats.queries_by_solver[r.solver];
+  }
+
+  void absorb(const Result<MaxFlowApproxResult>& r) {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    absorb_common(r);
+    if (r.ok()) stats.query_rounds_total += r.payload->rounds;
+  }
+
+  void absorb(const Result<RouteResult>& r) {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    absorb_common(r);
+    if (r.ok()) {
+      stats.query_rounds_total += r.payload->rounds;
+      stats.max_congestion =
+          std::max(stats.max_congestion, r.payload->congestion);
+    }
+  }
+
+  void absorb(const Result<MultiTerminalMaxFlowResult>& r) {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    absorb_common(r);
+    if (r.ok()) stats.query_rounds_total += r.payload->rounds;
+  }
+
+  void absorb_cancelled() {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    ++stats.queries_cancelled;
+  }
+
+  [[nodiscard]] EngineStats snapshot() const {
+    EngineStats out;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      out = stats;
+    }
+    out.hierarchy_cache_hits = cache.hits();
+    out.hierarchy_cache_misses = cache.misses();
+    return out;
+  }
+};
+
+// --- FlowEngine --------------------------------------------------------------
+
 FlowEngine::FlowEngine(Graph graph, EngineOptions options)
-    : graph_(std::move(graph)),
-      options_(std::move(options)),
-      hierarchy_([&] {
-        // Derive the AlmostRoute accuracy from the engine accuracy when
-        // the caller left it at the library default, mirroring
-        // approx_max_flow / approx_max_flow_multi.
-        if (options_.sherman.almost_route.epsilon ==
-            AlmostRouteOptions{}.epsilon) {
-          options_.sherman.almost_route.epsilon =
-              std::min(0.5, options_.sherman.epsilon);
-        }
-        if (options_.tune_routing_for_throughput &&
-            options_.sherman.route_residual_tolerance ==
-                ShermanOptions{}.route_residual_tolerance) {
-          options_.sherman.route_residual_tolerance =
-              options_.sherman.epsilon / 4.0;
-        }
-        ShermanOptions sherman = options_.sherman;
-        if (sherman.hierarchy.threads == 1) {
-          // The engine parallelizes the build on its own worker budget;
-          // sample_threads is the engine-level pin (sample_threads = 1
-          // keeps the build sequential).
-          sherman.hierarchy.threads = options_.sample_threads > 0
-                                          ? options_.sample_threads
-                                          : resolve_threads(options_.threads);
-        }
-        const auto start = std::chrono::steady_clock::now();
-        Rng rng(options_.seed);
-        auto built =
-            std::make_shared<const ShermanHierarchy>(graph_, sherman, rng);
-        stats_.build_seconds = seconds_since(start);
-        return built;
-      }()),
-      solver_(hierarchy_, options_.sherman),
-      registry_(SolverRegistry::standard(options_.exact_cutoff_nodes,
-                                         options_.exact_epsilon)) {
-  stats_.build_rounds = hierarchy_->build_rounds();
-  stats_.num_trees = hierarchy_->approximator().num_trees();
-  stats_.alpha = hierarchy_->alpha();
+    : core_(std::make_shared<Core>(std::move(graph), std::move(options))),
+      pool_(std::make_shared<WorkerPool>(core_->options.threads)) {}
+
+FlowEngine::~FlowEngine() {
+  if (pool_) pool_->shutdown();
 }
+
+FlowEngine::FlowEngine(FlowEngine&&) noexcept = default;
+
+FlowEngine& FlowEngine::operator=(FlowEngine&& other) noexcept {
+  if (this != &other) {
+    if (pool_) pool_->shutdown();
+    core_ = std::move(other.core_);
+    pool_ = std::move(other.pool_);
+  }
+  return *this;
+}
+
+template <typename Query, typename Payload>
+Ticket<Payload> FlowEngine::submit_impl(
+    Query query, std::function<void(const Result<Payload>&)> done,
+    SubmitOptions opts) {
+  auto promise = std::make_shared<std::promise<Result<Payload>>>();
+  std::future<Result<Payload>> future = promise->get_future();
+  auto core = core_;
+  // The pool requires `run` to never throw: anything escaping it would
+  // std::terminate the worker thread. exec() classifies solver
+  // exceptions itself; the catch-alls here cover non-std throws and,
+  // separately, a throwing user callback (the callback's exception is
+  // swallowed — the ticket still resolves with the computed result).
+  auto run = [core, promise, done, query = std::move(query)] {
+    const auto start = std::chrono::steady_clock::now();
+    Result<Payload> result;
+    try {
+      result = core->exec(query);
+    } catch (...) {
+      result = Result<Payload>::failure(ErrorCode::kInternalError,
+                                        "non-standard exception escaped "
+                                        "query execution");
+    }
+    result.seconds = seconds_since(start);
+    core->absorb(result);
+    if (done) {
+      try {
+        done(result);
+      } catch (...) {
+      }
+    }
+    promise->set_value(std::move(result));
+  };
+  auto cancelled = [core, promise, done](ErrorCode code) {
+    Result<Payload> result = Result<Payload>::failure(
+        code, code == ErrorCode::kCancelled
+                  ? "cancelled before execution"
+                  : "engine shut down before execution");
+    core->absorb_cancelled();
+    if (done) {
+      try {
+        done(result);
+      } catch (...) {
+      }
+    }
+    promise->set_value(std::move(result));
+  };
+  const std::uint64_t id =
+      pool_->submit(opts.priority, std::move(run), std::move(cancelled));
+  return Ticket<Payload>(id, std::move(future), pool_);
+}
+
+MaxFlowTicket FlowEngine::submit(MaxFlowQuery query, SubmitOptions opts) {
+  return submit_impl<MaxFlowQuery, MaxFlowApproxResult>(std::move(query),
+                                                        nullptr, opts);
+}
+
+RouteTicket FlowEngine::submit(RouteQuery query, SubmitOptions opts) {
+  return submit_impl<RouteQuery, RouteResult>(std::move(query), nullptr,
+                                              opts);
+}
+
+MultiTerminalTicket FlowEngine::submit(MultiTerminalQuery query,
+                                       SubmitOptions opts) {
+  return submit_impl<MultiTerminalQuery, MultiTerminalMaxFlowResult>(
+      std::move(query), nullptr, opts);
+}
+
+MaxFlowTicket FlowEngine::submit(
+    MaxFlowQuery query,
+    std::function<void(const Result<MaxFlowApproxResult>&)> done,
+    SubmitOptions opts) {
+  return submit_impl<MaxFlowQuery, MaxFlowApproxResult>(std::move(query),
+                                                        std::move(done),
+                                                        opts);
+}
+
+RouteTicket FlowEngine::submit(
+    RouteQuery query, std::function<void(const Result<RouteResult>&)> done,
+    SubmitOptions opts) {
+  return submit_impl<RouteQuery, RouteResult>(std::move(query),
+                                              std::move(done), opts);
+}
+
+MultiTerminalTicket FlowEngine::submit(
+    MultiTerminalQuery query,
+    std::function<void(const Result<MultiTerminalMaxFlowResult>&)> done,
+    SubmitOptions opts) {
+  return submit_impl<MultiTerminalQuery, MultiTerminalMaxFlowResult>(
+      std::move(query), std::move(done), opts);
+}
+
+void FlowEngine::wait_all() { pool_->wait_all(); }
+
+// --- compatibility shims -----------------------------------------------------
+
+namespace {
+
+template <typename T>
+void fill_outcome_common(QueryOutcome& outcome, const Result<T>& r) {
+  outcome.ok = r.ok();
+  outcome.code = r.code;
+  outcome.error = r.message;
+  outcome.solver = r.solver;
+  outcome.seconds = r.seconds;
+}
+
+QueryOutcome to_outcome(Result<MaxFlowApproxResult>&& r) {
+  QueryOutcome outcome;
+  fill_outcome_common(outcome, r);
+  outcome.max_flow = std::move(r.payload);
+  return outcome;
+}
+
+QueryOutcome to_outcome(Result<RouteResult>&& r) {
+  QueryOutcome outcome;
+  fill_outcome_common(outcome, r);
+  outcome.route = std::move(r.payload);
+  return outcome;
+}
+
+QueryOutcome to_outcome(Result<MultiTerminalMaxFlowResult>&& r) {
+  QueryOutcome outcome;
+  fill_outcome_common(outcome, r);
+  outcome.multi_terminal = std::move(r.payload);
+  return outcome;
+}
+
+using AnyTicket =
+    std::variant<MaxFlowTicket, RouteTicket, MultiTerminalTicket>;
+
+}  // namespace
 
 std::vector<QueryOutcome> FlowEngine::run_batch(
     const std::vector<EngineQuery>& queries) {
-  std::vector<QueryOutcome> outcomes(queries.size());
-  const int threads = std::min<int>(resolve_threads(options_.threads),
-                                    static_cast<int>(queries.size()));
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < queries.size(); ++i) {
-      outcomes[i] = execute(queries[i]);
-    }
-  } else {
-    // Work-stealing by atomic index: outcome slots are preassigned, so
-    // the result is identical regardless of which worker serves a query.
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int w = 0; w < threads; ++w) {
-      pool.emplace_back([&] {
-        while (true) {
-          const std::size_t i = next.fetch_add(1);
-          if (i >= queries.size()) return;
-          outcomes[i] = execute(queries[i]);
-        }
-      });
-    }
-    for (std::thread& worker : pool) worker.join();
+  std::vector<AnyTicket> tickets;
+  tickets.reserve(queries.size());
+  for (const EngineQuery& query : queries) {
+    std::visit([&](const auto& q) { tickets.emplace_back(submit(q)); },
+               query);
   }
-  for (const QueryOutcome& outcome : outcomes) absorb(outcome);
+  std::vector<QueryOutcome> outcomes;
+  outcomes.reserve(tickets.size());
+  for (AnyTicket& ticket : tickets) {
+    outcomes.push_back(std::visit(
+        [](auto& t) { return to_outcome(t.get()); }, ticket));
+  }
   return outcomes;
 }
 
 QueryOutcome FlowEngine::run(const EngineQuery& query) {
-  QueryOutcome outcome = execute(query);
-  absorb(outcome);
-  return outcome;
+  return std::visit([&](const auto& q) { return to_outcome(submit(q).get()); },
+                    query);
 }
 
-QueryOutcome FlowEngine::execute(const EngineQuery& query) const {
-  const auto start = std::chrono::steady_clock::now();
-  QueryOutcome outcome;
-  try {
-    outcome = std::visit(
-        [this](const auto& q) -> QueryOutcome {
-          using T = std::decay_t<decltype(q)>;
-          if constexpr (std::is_same_v<T, MaxFlowQuery>) {
-            return execute_max_flow(q);
-          } else if constexpr (std::is_same_v<T, RouteQuery>) {
-            return execute_route(q);
-          } else {
-            return execute_multi_terminal(q);
-          }
-        },
-        query);
-  } catch (const std::exception& e) {
-    outcome.ok = false;
-    outcome.error = e.what();
-  }
-  outcome.seconds = seconds_since(start);
-  return outcome;
+// --- accessors ---------------------------------------------------------------
+
+const Graph& FlowEngine::graph() const { return *core_->graph; }
+
+const ShermanHierarchy& FlowEngine::hierarchy() const {
+  return *core_->hierarchy;
 }
 
-QueryOutcome FlowEngine::execute_max_flow(const MaxFlowQuery& q) const {
-  const double epsilon =
-      q.epsilon > 0.0 ? q.epsilon : options_.sherman.epsilon;
-  const QueryProfile profile{graph_.num_nodes(), graph_.num_edges(), epsilon,
-                             q.exact};
-  const SolverEntry& entry = registry_.select(profile);
-  QueryOutcome outcome;
-  outcome.solver = entry.name;
-  if (entry.kind == SolverKind::kSherman) {
-    if (q.epsilon > 0.0 && q.epsilon != options_.sherman.epsilon) {
-      ShermanOptions per_query = options_.sherman;
-      per_query.epsilon = q.epsilon;
-      per_query.almost_route.epsilon = std::min(0.5, q.epsilon);
-      if (options_.tune_routing_for_throughput) {
-        per_query.route_residual_tolerance = q.epsilon / 4.0;
-      }
-      const ShermanSolver solver(hierarchy_, per_query);  // O(1) share
-      outcome.max_flow = solver.max_flow(q.s, q.t);
-    } else {
-      outcome.max_flow = solver_.max_flow(q.s, q.t);
-    }
-  } else {
-    outcome.max_flow = exact_max_flow_adapter(entry.kind, graph_, q.s, q.t);
-  }
-  outcome.ok = true;
-  return outcome;
-}
+const SolverRegistry& FlowEngine::registry() const { return core_->registry; }
 
-QueryOutcome FlowEngine::execute_route(const RouteQuery& q) const {
-  QueryOutcome outcome;
-  outcome.solver = "sherman-route";
-  outcome.route = solver_.route(q.demand);
-  outcome.ok = true;
-  return outcome;
-}
+const EngineOptions& FlowEngine::options() const { return core_->options; }
 
-QueryOutcome FlowEngine::execute_multi_terminal(
-    const MultiTerminalQuery& q) const {
-  const double epsilon =
-      q.epsilon > 0.0 ? q.epsilon : options_.sherman.epsilon;
-  // The super-terminal reduction solves on an augmented instance two
-  // nodes and |S|+|T| edges larger; profile that instance.
-  const auto extra =
-      static_cast<EdgeId>(q.sources.size() + q.sinks.size());
-  const QueryProfile profile{graph_.num_nodes() + 2,
-                             graph_.num_edges() + extra, epsilon, q.exact};
-  const SolverEntry& entry = registry_.select(profile);
-  QueryOutcome outcome;
-  outcome.solver = entry.name;
-  if (entry.kind == SolverKind::kSherman) {
-    Rng rng(query_seed(q));
-    outcome.multi_terminal =
-        approx_max_flow_multi(graph_, q.sources, q.sinks, epsilon, rng);
-  } else {
-    // Exact super-terminal reduction, then project the virtual edges away.
-    const SuperTerminalGraph st =
-        build_super_terminal_graph(graph_, q.sources, q.sinks);
-    const MaxFlowApproxResult raw = exact_max_flow_adapter(
-        entry.kind, st.graph, st.super_source, st.super_sink);
-    MultiTerminalMaxFlowResult projected;
-    projected.value = raw.value;
-    projected.rounds = raw.rounds;
-    projected.converged = raw.converged;
-    projected.flow.assign(
-        raw.flow.begin(),
-        raw.flow.begin() + static_cast<std::ptrdiff_t>(graph_.num_edges()));
-    outcome.multi_terminal = std::move(projected);
-  }
-  outcome.ok = true;
-  return outcome;
-}
-
-std::uint64_t FlowEngine::query_seed(const MultiTerminalQuery& q) const {
-  ContentHash h;
-  h.mix(options_.seed);
-  h.mix(0x4d54ULL);  // tag: multi-terminal
-  for (const NodeId s : q.sources) h.mix(static_cast<std::uint64_t>(s));
-  h.mix(0xffffffffffffffffULL);
-  for (const NodeId t : q.sinks) h.mix(static_cast<std::uint64_t>(t));
-  h.mix_double(q.epsilon);
-  return h.state;
-}
-
-void FlowEngine::absorb(const QueryOutcome& outcome) {
-  if (!outcome.ok) {
-    ++stats_.queries_failed;
-    return;
-  }
-  ++stats_.queries_served;
-  stats_.query_seconds_total += outcome.seconds;
-  ++stats_.queries_by_solver[outcome.solver];
-  if (outcome.max_flow) stats_.query_rounds_total += outcome.max_flow->rounds;
-  if (outcome.route) {
-    stats_.query_rounds_total += outcome.route->rounds;
-    stats_.max_congestion =
-        std::max(stats_.max_congestion, outcome.route->congestion);
-  }
-  if (outcome.multi_terminal) {
-    stats_.query_rounds_total += outcome.multi_terminal->rounds;
-  }
-}
+EngineStats FlowEngine::stats() const { return core_->snapshot(); }
 
 }  // namespace dmf

@@ -1,4 +1,4 @@
-// FlowEngine: a batched multi-query solver engine over one graph.
+// FlowEngine: an asynchronous multi-query solver session over one graph.
 //
 // The paper's headline cost is building the congestion approximator (the
 // sampled virtual-tree hierarchy); once built, each AlmostRoute / route()
@@ -7,25 +7,34 @@
 // sampling parallelized across trees, reproducible at any thread count),
 // and then serves arbitrarily many heterogeneous queries against the
 // const hierarchy — s-t max flow, arbitrary-demand route() calls, and
-// multi-terminal max flow. Independent queries in a batch execute
-// concurrently on a worker pool.
+// multi-terminal max flow.
+//
+// v2 API: queries are *submitted*, not batched. submit(query) enqueues
+// onto a persistent worker pool (created once with the engine) and
+// returns a typed Ticket<T> — a future of Result<T> plus cancellation.
+// Completion can also be observed through a per-query callback, and
+// wait_all() barriers on everything outstanding. Per-query priorities
+// order execution; results never depend on them. run_batch()/run() remain
+// as thin synchronous shims over submit for existing callers.
 //
 // Determinism: a query's result depends only on the engine seed, the
-// graph, and the query's content — never on batch position, batch
-// composition, or thread count. Batched results are therefore bitwise
-// identical to issuing the same queries one at a time.
+// graph, and the query's content — never on submission order, priority,
+// thread count, or what else is in flight. Submitted results are
+// therefore bitwise identical to run_batch and to issuing the same
+// queries one at a time.
 //
 // Solver selection goes through a SolverRegistry: tiny instances and
 // exactness-demanding queries are dispatched to the exact baselines
 // (Dinic / push-relabel) via the adapters in src/baselines/adapters.h;
-// everything else rides the shared hierarchy. One exception: approximate
-// multi-terminal queries solve on the super-terminal-augmented graph,
-// whose hierarchy cannot be shared with the base graph's, so they build
-// a per-query hierarchy (sharing it across a batch's terminal sets is an
-// open item in ROADMAP.md).
+// everything else rides the shared hierarchy. Approximate multi-terminal
+// queries solve on the super-terminal-augmented graph, whose hierarchy
+// cannot be shared with the base graph's — those builds go through a
+// HierarchyCache keyed by the canonicalized terminal sets, so repeated
+// (or reordered) terminal sets share one build (see hierarchy_cache.h).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -34,6 +43,8 @@
 #include <vector>
 
 #include "engine/registry.h"
+#include "engine/result.h"
+#include "engine/session.h"
 #include "graph/graph.h"
 #include "maxflow/multi_terminal.h"
 #include "maxflow/sherman.h"
@@ -62,11 +73,22 @@ struct MultiTerminalQuery {
 
 using EngineQuery = std::variant<MaxFlowQuery, RouteQuery, MultiTerminalQuery>;
 
-// --- results -----------------------------------------------------------------
+// --- typed results -----------------------------------------------------------
 
+// Each query kind resolves to Result<payload> (engine/result.h):
+//   MaxFlowQuery       -> Result<MaxFlowApproxResult>
+//   RouteQuery         -> Result<RouteResult>
+//   MultiTerminalQuery -> Result<MultiTerminalMaxFlowResult>
+using MaxFlowTicket = Ticket<MaxFlowApproxResult>;
+using RouteTicket = Ticket<RouteResult>;
+using MultiTerminalTicket = Ticket<MultiTerminalMaxFlowResult>;
+
+// Compatibility result for the run()/run_batch() shims: the pre-v2
+// untyped bag of optionals, now also carrying the ErrorCode.
 struct QueryOutcome {
   bool ok = false;
-  std::string error;   // set when !ok (a DMF_REQUIRE failure, typically)
+  ErrorCode code = ErrorCode::kInternalError;
+  std::string error;   // set when !ok
   std::string solver;  // registry entry (or "sherman-route") that served it
   double seconds = 0.0;
   // Exactly one of these is populated, matching the query alternative.
@@ -82,6 +104,12 @@ struct EngineStats {
   double alpha = 0.0;
   std::int64_t queries_served = 0;
   std::int64_t queries_failed = 0;
+  std::int64_t queries_cancelled = 0;  // cancelled or dropped at shutdown
+  // Super-terminal hierarchy sharing across multi-terminal queries: a
+  // miss pays a full hierarchy build on the augmented graph, a hit reuses
+  // (or waits on) a previous build of the same canonical terminal sets.
+  std::int64_t hierarchy_cache_hits = 0;
+  std::int64_t hierarchy_cache_misses = 0;
   double query_seconds_total = 0.0;
   // Sum of the per-reply round accounting (Sherman max-flow replies fold
   // the one-off build rounds in, matching ShermanSolver::max_flow).
@@ -110,7 +138,16 @@ struct EngineOptions {
   // amortization) of the engine's throughput story. Set to false to keep
   // the library's conservative routing untouched.
   bool tune_routing_for_throughput = true;
-  // Worker threads for batch execution; 0 = all hardware threads.
+  // Share super-terminal hierarchies across approximate multi-terminal
+  // queries with the same canonical terminal sets (see hierarchy_cache.h).
+  // Disabling rebuilds per query; results are identical either way.
+  bool share_multi_terminal_hierarchies = true;
+  // Retained cache entries (each owns an augmented graph + hierarchy);
+  // least-recently-used eviction beyond this. 0 = unbounded. Eviction
+  // never changes results — a re-requested evicted set rebuilds the
+  // identical hierarchy, it just pays the build again.
+  std::size_t hierarchy_cache_capacity = 64;
+  // Worker threads of the persistent pool; 0 = all hardware threads.
   int threads = 0;
   // Threads for the one-off virtual-tree sampling; 0 = same as `threads`,
   // 1 = keep the build sequential.
@@ -118,56 +155,83 @@ struct EngineOptions {
   // Registry policy knobs (see SolverRegistry::standard).
   NodeId exact_cutoff_nodes = 64;
   double exact_epsilon = 1e-6;
-  // Seed for the hierarchy build and for per-query RNG derivation.
+  // Seed for the hierarchy build and for per-terminal-set derivation.
   std::uint64_t seed = 0x5eed0f10eULL;
 };
 
 class FlowEngine {
  public:
-  // Builds the hierarchy immediately (the expensive step).
+  // Builds the base hierarchy immediately (the expensive step) and starts
+  // the worker pool.
   explicit FlowEngine(Graph graph, EngineOptions options = {});
 
-  // The shared hierarchy holds a pointer into graph_, so relocating the
-  // engine would dangle it.
+  // Destruction cancels everything still queued (those tickets resolve
+  // with ErrorCode::kShutdown), finishes queries already running, and
+  // joins the pool. Outstanding tickets stay safe to use afterwards.
+  ~FlowEngine();
+
+  // Movable: the graph lives behind a shared_ptr inside the hierarchy,
+  // so relocating the engine dangles nothing.
+  FlowEngine(FlowEngine&&) noexcept;
+  FlowEngine& operator=(FlowEngine&&) noexcept;
   FlowEngine(const FlowEngine&) = delete;
   FlowEngine& operator=(const FlowEngine&) = delete;
-  FlowEngine(FlowEngine&&) = delete;
-  FlowEngine& operator=(FlowEngine&&) = delete;
 
-  // Execute a batch; outcome[i] corresponds to queries[i]. Queries run
-  // concurrently on the worker pool; per-query failures are reported in
-  // the outcome, never thrown.
+  // --- asynchronous session API ---
+  // Enqueue one query; returns immediately. Per-query failures resolve
+  // the ticket with an ErrorCode, never throw.
+  [[nodiscard]] MaxFlowTicket submit(MaxFlowQuery query,
+                                     SubmitOptions opts = {});
+  [[nodiscard]] RouteTicket submit(RouteQuery query, SubmitOptions opts = {});
+  [[nodiscard]] MultiTerminalTicket submit(MultiTerminalQuery query,
+                                           SubmitOptions opts = {});
+
+  // Callback form: `done` runs right before the ticket becomes ready —
+  // on the worker thread for executed queries, but synchronously on the
+  // *cancelling* thread for cancelled resolutions (inside
+  // Ticket::cancel() or the engine destructor's shutdown drain), so it
+  // must not assume a thread identity or re-enter locks the canceller
+  // holds. An exception thrown by the callback is swallowed — the
+  // ticket still resolves with the computed result.
+  [[nodiscard]] MaxFlowTicket submit(
+      MaxFlowQuery query,
+      std::function<void(const Result<MaxFlowApproxResult>&)> done,
+      SubmitOptions opts = {});
+  [[nodiscard]] RouteTicket submit(
+      RouteQuery query, std::function<void(const Result<RouteResult>&)> done,
+      SubmitOptions opts = {});
+  [[nodiscard]] MultiTerminalTicket submit(
+      MultiTerminalQuery query,
+      std::function<void(const Result<MultiTerminalMaxFlowResult>&)> done,
+      SubmitOptions opts = {});
+
+  // Block until every query submitted so far has resolved.
+  void wait_all();
+
+  // --- synchronous compatibility shims over submit ---
+  // Execute a batch; outcome[i] corresponds to queries[i].
   std::vector<QueryOutcome> run_batch(const std::vector<EngineQuery>& queries);
-
   // Single-query convenience; equivalent to a batch of one.
   QueryOutcome run(const EngineQuery& query);
 
-  [[nodiscard]] const Graph& graph() const { return graph_; }
-  [[nodiscard]] const ShermanHierarchy& hierarchy() const {
-    return *hierarchy_;
-  }
-  [[nodiscard]] const SolverRegistry& registry() const { return registry_; }
-  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  [[nodiscard]] const Graph& graph() const;
+  [[nodiscard]] const ShermanHierarchy& hierarchy() const;
+  [[nodiscard]] const SolverRegistry& registry() const;
+  [[nodiscard]] const EngineOptions& options() const;
+  // Snapshot of the counters (taken under the stats lock; safe to call
+  // while queries are in flight).
+  [[nodiscard]] EngineStats stats() const;
 
  private:
-  [[nodiscard]] QueryOutcome execute(const EngineQuery& query) const;
-  [[nodiscard]] QueryOutcome execute_max_flow(const MaxFlowQuery& q) const;
-  [[nodiscard]] QueryOutcome execute_route(const RouteQuery& q) const;
-  [[nodiscard]] QueryOutcome execute_multi_terminal(
-      const MultiTerminalQuery& q) const;
-  // Seed for a query's private RNG stream: a content hash mixed with the
-  // engine seed, so the result is independent of batch position.
-  [[nodiscard]] std::uint64_t query_seed(const MultiTerminalQuery& q) const;
-  void absorb(const QueryOutcome& outcome);
+  struct Core;
 
-  Graph graph_;
-  EngineOptions options_;
-  // stats_ precedes hierarchy_: the hierarchy initializer times the build
-  // and records it in stats_, which therefore must be constructed first.
-  EngineStats stats_;
-  std::shared_ptr<const ShermanHierarchy> hierarchy_;
-  ShermanSolver solver_;  // default-accuracy solver on the shared hierarchy
-  SolverRegistry registry_;
+  template <typename Query, typename Payload>
+  Ticket<Payload> submit_impl(
+      Query query, std::function<void(const Result<Payload>&)> done,
+      SubmitOptions opts);
+
+  std::shared_ptr<Core> core_;
+  std::shared_ptr<WorkerPool> pool_;
 };
 
 }  // namespace dmf

@@ -1,0 +1,95 @@
+#include "engine/hierarchy_cache.h"
+
+#include <utility>
+
+namespace dmf {
+
+std::shared_ptr<const SuperTerminalHierarchy> HierarchyCache::get_or_build(
+    std::vector<NodeId> sources, std::vector<NodeId> sinks,
+    const Builder& build, bool* hit) {
+  std::vector<NodeId> srcs = canonical_terminals(std::move(sources));
+  std::vector<NodeId> snks = canonical_terminals(std::move(sinks));
+  Key key;
+  key.reserve(srcs.size() + snks.size() + 1);
+  key.insert(key.end(), srcs.begin(), srcs.end());
+  key.push_back(kInvalidNode);
+  key.insert(key.end(), snks.begin(), snks.end());
+
+  std::promise<std::shared_ptr<const SuperTerminalHierarchy>> promise;
+  EntryFuture future;
+  bool building = false;
+  std::uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+      future = it->second.future;
+    } else {
+      ++misses_;
+      building = true;
+      generation = next_generation_++;
+      future = promise.get_future().share();
+      lru_.push_front(key);
+      entries_.emplace(key, Slot{future, lru_.begin(), generation});
+      if (capacity_ > 0 && entries_.size() > capacity_) {
+        // Evict the least recently used entry (never the one just
+        // inserted: capacity >= 1 keeps it at the front). An in-flight
+        // evictee still completes for its current waiters — they hold
+        // the shared_future directly; only the map forgets it.
+        const Key& victim = lru_.back();
+        entries_.erase(victim);
+        lru_.pop_back();
+      }
+    }
+  }
+  if (hit != nullptr) *hit = !building;
+  if (building) {
+    try {
+      promise.set_value(std::make_shared<const SuperTerminalHierarchy>(
+          build(srcs, snks)));
+    } catch (...) {
+      // Forget the key first (so no new requester joins the doomed
+      // future), then fail its current waiters: a transient failure
+      // (e.g. memory pressure) must not poison the terminal set for the
+      // engine's lifetime.
+      drop(key, generation);
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();  // rethrows a builder failure to every requester
+}
+
+void HierarchyCache::drop(const Key& key, std::uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.generation != generation) return;
+  lru_.erase(it->second.lru_position);
+  entries_.erase(it);
+}
+
+std::int64_t HierarchyCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::int64_t HierarchyCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t HierarchyCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void HierarchyCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace dmf

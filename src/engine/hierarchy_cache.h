@@ -1,0 +1,96 @@
+// Shared super-terminal hierarchies for multi-terminal queries.
+//
+// An approximate multi-terminal query solves on the super-terminal
+// augmented graph, whose hierarchy cannot be shared with the base
+// graph's. Before this cache, every such query paid a full per-query
+// hierarchy build — so multi-terminal batches got none of the engine's
+// amortization (the ROADMAP open item). The cache keys entries on the
+// canonicalized (sorted, deduplicated) source and sink sets: queries
+// naming the same sets — in any order, at any epsilon — share one build.
+//
+// Concurrency: the first thread to request a key inserts a shared_future
+// and builds; concurrent requesters of the same key block on that future
+// instead of duplicating the build. (That blocking holds their pool
+// worker slots: a burst of same-key queries landing on every worker can
+// stall unrelated queued work for the duration of one build. It resolves
+// itself the moment the build finishes — every blocked query then
+// completes against the shared entry — but latency-sensitive mixed
+// workloads should be aware of it.) A builder that throws fails every
+// in-flight waiter and is then forgotten, so the next request retries
+// instead of reliving a transient failure forever.
+//
+// Determinism: the builder derives its RNG purely from (engine seed,
+// canonical terminal sets), so the entry is identical no matter which
+// query built it first — cache state (including LRU eviction and
+// rebuild-after-eviction) can never change a query's result, only its
+// cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "graph/graph.h"
+#include "maxflow/multi_terminal.h"
+
+namespace dmf {
+
+class HierarchyCache {
+ public:
+  // capacity bounds the number of retained entries (each owns a full
+  // augmented graph + hierarchy); least-recently-used entries are
+  // evicted on overflow. 0 = unbounded.
+  explicit HierarchyCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  // Builds the entry for canonicalized terminal sets. Must be
+  // deterministic in (sources, sinks); invoked at most once per live
+  // key (an evicted or failed key is rebuilt on next request).
+  using Builder = std::function<SuperTerminalHierarchy(
+      const std::vector<NodeId>& sources, const std::vector<NodeId>& sinks)>;
+
+  // Canonicalizes the terminal sets, then returns the cached entry,
+  // building it (or waiting for the in-flight build) if needed. `hit` is
+  // set to false only for the requester that performs the build. A
+  // builder exception propagates to this key's current requesters, and
+  // the key is dropped so later requests retry the build.
+  std::shared_ptr<const SuperTerminalHierarchy> get_or_build(
+      std::vector<NodeId> sources, std::vector<NodeId> sinks,
+      const Builder& build, bool* hit = nullptr);
+
+  [[nodiscard]] std::int64_t hits() const;
+  [[nodiscard]] std::int64_t misses() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void clear();
+
+ private:
+  // Key: canonical sources ++ {kInvalidNode} ++ canonical sinks.
+  using Key = std::vector<NodeId>;
+  using EntryFuture =
+      std::shared_future<std::shared_ptr<const SuperTerminalHierarchy>>;
+  struct Slot {
+    EntryFuture future;
+    std::list<Key>::iterator lru_position;
+    std::uint64_t generation = 0;
+  };
+
+  // Forget a failed build — but only the slot the failure belongs to: an
+  // evicted-and-reinserted key may map to a newer, healthy build by now.
+  void drop(const Key& key, std::uint64_t generation);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::map<Key, Slot> entries_;
+  std::list<Key> lru_;  // front = most recently used
+  std::uint64_t next_generation_ = 1;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace dmf

@@ -1,0 +1,157 @@
+#include "engine/session.h"
+
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace dmf {
+
+namespace {
+
+bool message_contains(const char* what, const char* fragment) {
+  return std::string(what).find(fragment) != std::string::npos;
+}
+
+}  // namespace
+
+int resolve_worker_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ErrorCode classify_error(const std::exception& e) {
+  const auto* requirement = dynamic_cast<const RequirementError*>(&e);
+  if (requirement == nullptr) return ErrorCode::kInternalError;
+  const char* what = e.what();
+  if (message_contains(what, "isolated terminal")) {
+    return ErrorCode::kIsolatedTerminal;
+  }
+  if (message_contains(what, "zero-congestion") ||
+      message_contains(what, "degenerate demand") ||
+      message_contains(what, "no feasible flow")) {
+    return ErrorCode::kNumericalFailure;
+  }
+  if (message_contains(what, "bad source") ||
+      message_contains(what, "bad sink") ||
+      message_contains(what, "bad terminals") ||
+      message_contains(what, "empty terminal set") ||
+      message_contains(what, "must be disjoint") ||
+      message_contains(what, "demand size mismatch") ||
+      message_contains(what, "demand must sum to zero")) {
+    return ErrorCode::kInvalidQuery;
+  }
+  return ErrorCode::kPreconditionFailed;
+}
+
+WorkerPool::WorkerPool(int threads) {
+  const int count = resolve_worker_threads(threads);
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+std::uint64_t WorkerPool::submit(int priority, std::function<void()> run,
+                                 CancelFn cancelled) {
+  auto state = std::make_shared<TaskState>();
+  state->run = std::move(run);
+  state->cancelled = std::move(cancelled);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DMF_REQUIRE(!stopping_, "WorkerPool: submit after shutdown");
+    state->id = next_id_++;
+    by_id_.emplace(state->id, state);
+    queue_.push(QueueEntry{priority, state->id, state});
+    ++pending_;
+  }
+  work_cv_.notify_one();
+  return state->id;
+}
+
+bool WorkerPool::cancel(std::uint64_t id) {
+  std::shared_ptr<TaskState> state;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_id_.find(id);
+    if (it == by_id_.end()) return false;
+    state = it->second;
+  }
+  int expected = kQueued;
+  if (!state->status.compare_exchange_strong(expected, kCancelled)) {
+    return false;
+  }
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  state->cancelled(ErrorCode::kCancelled);
+  finish_one(id);
+  return true;
+}
+
+void WorkerPool::wait_all() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void WorkerPool::shutdown() {
+  std::vector<std::shared_ptr<TaskState>> to_cancel;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+    // Drain the queue: whatever a worker has not yet claimed is failed
+    // with kShutdown instead of silently dropped (every promise must be
+    // fulfilled).
+    while (!queue_.empty()) {
+      to_cancel.push_back(queue_.top().state);
+      queue_.pop();
+    }
+  }
+  for (const auto& state : to_cancel) {
+    int expected = kQueued;
+    if (state->status.compare_exchange_strong(expected, kCancelled)) {
+      state->cancelled(ErrorCode::kShutdown);
+      finish_one(state->id);
+    }
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void WorkerPool::worker_loop() {
+  while (true) {
+    std::shared_ptr<TaskState> state;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to run
+      state = queue_.top().state;
+      queue_.pop();
+    }
+    int expected = kQueued;
+    if (!state->status.compare_exchange_strong(expected, kRunning)) {
+      continue;  // cancelled while queued; its CancelFn already ran
+    }
+    state->run();
+    state->status.store(kDone);
+    finish_one(state->id);
+  }
+}
+
+void WorkerPool::finish_one(std::uint64_t id) {
+  bool idle = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    by_id_.erase(id);
+    DMF_REQUIRE(pending_ > 0, "WorkerPool: pending underflow");
+    --pending_;
+    idle = pending_ == 0;
+  }
+  if (idle) idle_cv_.notify_all();
+}
+
+}  // namespace dmf

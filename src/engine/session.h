@@ -1,0 +1,169 @@
+// Asynchronous query session plumbing for the FlowEngine.
+//
+// WorkerPool is a persistent pool (created once with the engine, not per
+// batch) draining a priority queue of submitted tasks. Each submission
+// pairs a run closure with a cancel closure; exactly one of the two ever
+// executes, guarded by an atomic per-task state machine, so a queued task
+// can be cancelled race-free while workers are popping. wait_all() blocks
+// until every submitted task has either run or been cancelled.
+//
+// Ticket<T> is the caller's handle on one submitted query: a one-shot
+// future of Result<T> plus cancellation through a weak reference to the
+// pool (safe to poke after the engine is gone). Determinism note: the
+// pool orders *execution* by priority, but results are computed purely
+// from query content, so neither priority nor pop order can change what a
+// ticket yields — only when.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/result.h"
+
+namespace dmf {
+
+// Per-query submission knobs. Priority is a scheduling hint only: higher
+// values are popped first; ties execute in submission order.
+struct SubmitOptions {
+  int priority = 0;
+};
+
+// The engine-wide thread-count policy: a positive request is taken
+// as-is, 0 means all hardware threads (at least 1). Shared by the
+// worker pool and the hierarchy-build parallelism so the two can never
+// drift.
+[[nodiscard]] int resolve_worker_threads(int requested);
+
+class WorkerPool {
+ public:
+  // Fulfills the task's promise with the given terminal code
+  // (kCancelled or kShutdown) without running the query.
+  using CancelFn = std::function<void(ErrorCode)>;
+
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Enqueue a task; returns its id (for cancel()). `run` must not throw.
+  std::uint64_t submit(int priority, std::function<void()> run,
+                       CancelFn cancelled);
+
+  // Cancel a still-queued task: its CancelFn runs (with kCancelled) and
+  // true is returned. Returns false if the task already started,
+  // finished, was cancelled before, or the id is unknown.
+  bool cancel(std::uint64_t id);
+
+  // Block until every task submitted so far has run or been cancelled.
+  void wait_all();
+
+  // Cancel everything still queued (with kShutdown), then join the
+  // workers. Idempotent; called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] int threads() const {
+    return static_cast<int>(workers_.size());
+  }
+  [[nodiscard]] std::int64_t cancelled_count() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum : int { kQueued = 0, kRunning = 1, kCancelled = 2, kDone = 3 };
+
+  struct TaskState {
+    std::uint64_t id = 0;
+    std::atomic<int> status{kQueued};
+    std::function<void()> run;
+    CancelFn cancelled;
+  };
+
+  struct QueueEntry {
+    int priority = 0;
+    std::uint64_t seq = 0;
+    std::shared_ptr<TaskState> state;
+    // priority_queue pops the "largest": highest priority, then earliest
+    // submission.
+    bool operator<(const QueueEntry& other) const {
+      if (priority != other.priority) return priority < other.priority;
+      return seq > other.seq;
+    }
+  };
+
+  void worker_loop();
+  void finish_one(std::uint64_t id);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stopping
+  std::condition_variable idle_cv_;   // wait_all: pending reached zero
+  std::priority_queue<QueueEntry> queue_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<TaskState>> by_id_;
+  std::uint64_t next_id_ = 1;
+  std::size_t pending_ = 0;  // submitted but not yet run/cancelled
+  bool stopping_ = false;
+  std::atomic<std::int64_t> cancelled_{0};
+  std::vector<std::thread> workers_;
+};
+
+// Handle on one submitted query. Move-only (the future is one-shot);
+// default-constructed tickets are invalid.
+template <typename T>
+class Ticket {
+ public:
+  Ticket() = default;
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] bool valid() const { return future_.valid(); }
+
+  // Cancel if still queued. True means the query will never run and
+  // get() yields ErrorCode::kCancelled; false means it already started
+  // (or finished) and get() yields its real result.
+  bool cancel() {
+    if (auto pool = pool_.lock()) return pool->cancel(id_);
+    return false;
+  }
+
+  // wait()/ready()/get() require valid(): a default-constructed,
+  // moved-from, or already-consumed ticket trips a DMF_REQUIRE instead
+  // of the undefined behavior std::future exhibits.
+  void wait() const {
+    DMF_REQUIRE(future_.valid(), "Ticket::wait: invalid ticket");
+    future_.wait();
+  }
+  [[nodiscard]] bool ready() const {
+    DMF_REQUIRE(future_.valid(), "Ticket::ready: invalid ticket");
+    return future_.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  }
+
+  // Blocks until the result is available. One-shot: invalidates the
+  // ticket.
+  [[nodiscard]] Result<T> get() {
+    DMF_REQUIRE(future_.valid(),
+                "Ticket::get: invalid ticket (already consumed?)");
+    return future_.get();
+  }
+
+ private:
+  friend class FlowEngine;
+  Ticket(std::uint64_t id, std::future<Result<T>> future,
+         std::weak_ptr<WorkerPool> pool)
+      : id_(id), future_(std::move(future)), pool_(std::move(pool)) {}
+
+  std::uint64_t id_ = 0;
+  std::future<Result<T>> future_;
+  std::weak_ptr<WorkerPool> pool_;
+};
+
+}  // namespace dmf

@@ -1,6 +1,8 @@
 #include "maxflow/multi_terminal.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "graph/flow.h"
 
@@ -21,6 +23,18 @@ SuperTerminalGraph build_super_terminal_graph(
     DMF_REQUIRE(!is_source[static_cast<std::size_t>(t)],
                 "super_terminal_graph: terminal sets must be disjoint");
   }
+  // A degree-0 terminal used to get a 1e-9-capacity virtual edge, turning
+  // the whole query into a meaningless near-zero answer; reject instead.
+  for (const NodeId v : sources) {
+    DMF_REQUIRE(g.weighted_degree(v) > 0.0,
+                "super_terminal_graph: isolated terminal (node " +
+                    std::to_string(v) + " has no incident capacity)");
+  }
+  for (const NodeId v : sinks) {
+    DMF_REQUIRE(g.weighted_degree(v) > 0.0,
+                "super_terminal_graph: isolated terminal (node " +
+                    std::to_string(v) + " has no incident capacity)");
+  }
 
   SuperTerminalGraph out;
   out.graph = Graph(g.num_nodes() + 2);
@@ -31,39 +45,70 @@ SuperTerminalGraph build_super_terminal_graph(
   out.super_source = g.num_nodes();
   out.super_sink = g.num_nodes() + 1;
   for (const NodeId s : sources) {
-    out.graph.add_edge(out.super_source, s,
-                       std::max(1e-9, g.weighted_degree(s)));
+    out.graph.add_edge(out.super_source, s, g.weighted_degree(s));
   }
   for (const NodeId t : sinks) {
-    out.graph.add_edge(t, out.super_sink,
-                       std::max(1e-9, g.weighted_degree(t)));
+    out.graph.add_edge(t, out.super_sink, g.weighted_degree(t));
   }
   return out;
+}
+
+std::vector<NodeId> canonical_terminals(std::vector<NodeId> terminals) {
+  std::sort(terminals.begin(), terminals.end());
+  terminals.erase(std::unique(terminals.begin(), terminals.end()),
+                  terminals.end());
+  return terminals;
+}
+
+MultiTerminalMaxFlowResult project_super_terminal_flow(
+    const MaxFlowApproxResult& raw, EdgeId base_edges) {
+  DMF_REQUIRE(static_cast<EdgeId>(raw.flow.size()) >= base_edges,
+              "project_super_terminal_flow: flow shorter than base graph");
+  MultiTerminalMaxFlowResult out;
+  out.value = raw.value;
+  out.rounds = raw.rounds;
+  out.converged = raw.converged;
+  out.flow.assign(raw.flow.begin(),
+                  raw.flow.begin() + static_cast<std::ptrdiff_t>(base_edges));
+  return out;
+}
+
+SuperTerminalHierarchy build_super_terminal_hierarchy(
+    const Graph& g, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& sinks, const ShermanOptions& options,
+    Rng& rng) {
+  const std::vector<NodeId> srcs = canonical_terminals(sources);
+  const std::vector<NodeId> snks = canonical_terminals(sinks);
+  SuperTerminalGraph st = build_super_terminal_graph(g, srcs, snks);
+  SuperTerminalHierarchy out;
+  out.graph = std::make_shared<const Graph>(std::move(st.graph));
+  out.super_source = st.super_source;
+  out.super_sink = st.super_sink;
+  out.base_edges = g.num_edges();
+  out.hierarchy =
+      std::make_shared<const ShermanHierarchy>(out.graph, options, rng);
+  return out;
+}
+
+MultiTerminalMaxFlowResult solve_on_super_terminal_hierarchy(
+    const SuperTerminalHierarchy& st, const ShermanOptions& options) {
+  DMF_REQUIRE(st.hierarchy != nullptr,
+              "solve_on_super_terminal_hierarchy: null hierarchy");
+  const ShermanSolver solver(st.hierarchy, options);  // O(1) share
+  const MaxFlowApproxResult raw =
+      solver.max_flow(st.super_source, st.super_sink);
+  return project_super_terminal_flow(raw, st.base_edges);
 }
 
 MultiTerminalMaxFlowResult approx_max_flow_multi(
     const Graph& g, const std::vector<NodeId>& sources,
     const std::vector<NodeId>& sinks, double epsilon, Rng& rng) {
-  const SuperTerminalGraph st = build_super_terminal_graph(g, sources, sinks);
-  const Graph& augmented = st.graph;
-  const NodeId super_s = st.super_source;
-  const NodeId super_t = st.super_sink;
-
   ShermanOptions options;
   options.epsilon = epsilon;
   options.almost_route.epsilon = std::min(0.5, epsilon);
-  const ShermanSolver solver(augmented, options, rng);
-  const MaxFlowApproxResult raw = solver.max_flow(super_s, super_t);
-
-  MultiTerminalMaxFlowResult out;
-  out.value = raw.value;
-  out.rounds = raw.rounds;
-  out.converged = raw.converged;
-  // Project: the first g.num_edges() edges of `augmented` are exactly
-  // g's edges in order.
-  out.flow.assign(raw.flow.begin(),
-                  raw.flow.begin() + static_cast<std::ptrdiff_t>(g.num_edges()));
-  return out;
+  const SuperTerminalHierarchy st =
+      build_super_terminal_hierarchy(g, sources, sinks, options, rng);
+  return solve_on_super_terminal_hierarchy(st, options);
 }
 
 }  // namespace dmf

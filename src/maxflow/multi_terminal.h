@@ -9,6 +9,7 @@
 // (flood-max, O(D) rounds) — the reduction adds no asymptotic cost.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "maxflow/sherman.h"
@@ -25,21 +26,63 @@ struct MultiTerminalMaxFlowResult {
 
 // The super-terminal reduction shared by the approximate path below and
 // the engine's exact dispatch: g plus super-source/super-sink, each wired
-// to its terminals with capacity max(1e-9, weighted degree) so the
-// virtual edges are never the binding cut. g's edges come first and keep
-// their ids, so a flow on `graph` projects back by truncation.
+// to its terminals with capacity equal to the terminal's weighted degree
+// so the virtual edges are never the binding cut. A terminal with no
+// incident capacity is rejected ("isolated terminal"): its virtual edge
+// would have (near-)zero capacity and the answer would be a meaningless
+// near-zero value. g's edges come first and keep their ids, so a flow on
+// `graph` projects back by truncation.
 struct SuperTerminalGraph {
   Graph graph;
   NodeId super_source = kInvalidNode;
   NodeId super_sink = kInvalidNode;
 };
 
-// sources and sinks must be non-empty, valid, and disjoint (checked).
+// sources and sinks must be non-empty, valid, disjoint, and non-isolated
+// (all checked).
 SuperTerminalGraph build_super_terminal_graph(
     const Graph& g, const std::vector<NodeId>& sources,
     const std::vector<NodeId>& sinks);
 
-// sources and sinks must be non-empty and disjoint.
+// Canonical form of a terminal set: sorted, deduplicated. The engine's
+// hierarchy cache keys on this, and derives per-terminal-set seeds from
+// it, so queries naming the same set in any order share one hierarchy
+// and return identical results.
+[[nodiscard]] std::vector<NodeId> canonical_terminals(
+    std::vector<NodeId> terminals);
+
+// Project an augmented-graph max-flow result back onto the base graph:
+// the first `base_edges` edges of the augmented graph are the base
+// graph's edges in order.
+[[nodiscard]] MultiTerminalMaxFlowResult project_super_terminal_flow(
+    const MaxFlowApproxResult& raw, EdgeId base_edges);
+
+// A prebuilt super-terminal instance: the augmented graph (owned) plus
+// the Sherman hierarchy sampled on it. Build once per terminal set, then
+// serve any number of queries (at any epsilon) through
+// solve_on_super_terminal_hierarchy. This is what the engine's
+// HierarchyCache stores.
+struct SuperTerminalHierarchy {
+  std::shared_ptr<const Graph> graph;  // augmented graph
+  NodeId super_source = kInvalidNode;
+  NodeId super_sink = kInvalidNode;
+  EdgeId base_edges = 0;  // projection prefix: the base graph's edge count
+  std::shared_ptr<const ShermanHierarchy> hierarchy;
+};
+
+// Build the augmented graph for the canonicalized terminal sets and
+// sample its hierarchy. `options.epsilon` does not influence the build,
+// so the result serves queries at any accuracy.
+[[nodiscard]] SuperTerminalHierarchy build_super_terminal_hierarchy(
+    const Graph& g, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& sinks, const ShermanOptions& options, Rng& rng);
+
+// Solve one multi-terminal query on a prebuilt instance. Deterministic:
+// no RNG is consumed (the hierarchy already holds all sampled state).
+[[nodiscard]] MultiTerminalMaxFlowResult solve_on_super_terminal_hierarchy(
+    const SuperTerminalHierarchy& st, const ShermanOptions& options);
+
+// One-shot convenience: sources and sinks must be non-empty and disjoint.
 MultiTerminalMaxFlowResult approx_max_flow_multi(
     const Graph& g, const std::vector<NodeId>& sources,
     const std::vector<NodeId>& sinks, double epsilon, Rng& rng);

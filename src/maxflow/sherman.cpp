@@ -14,7 +14,15 @@ namespace dmf {
 
 ShermanHierarchy::ShermanHierarchy(const Graph& g,
                                    const ShermanOptions& options, Rng& rng)
-    : graph_(&g) {
+    : ShermanHierarchy(std::shared_ptr<const Graph>(std::shared_ptr<void>(),
+                                                    &g),
+                       options, rng) {}
+
+ShermanHierarchy::ShermanHierarchy(std::shared_ptr<const Graph> graph,
+                                   const ShermanOptions& options, Rng& rng)
+    : graph_(std::move(graph)) {
+  DMF_REQUIRE(graph_ != nullptr, "ShermanHierarchy: null graph");
+  const Graph& g = *graph_;
   DMF_REQUIRE(g.num_nodes() >= 2, "ShermanHierarchy: need >= 2 nodes");
   DMF_REQUIRE(is_connected(g), "ShermanHierarchy: graph must be connected");
   const int num_trees =

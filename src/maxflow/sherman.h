@@ -71,9 +71,19 @@ struct MaxFlowApproxResult {
 // count.
 class ShermanHierarchy {
  public:
+  // Owning form: the hierarchy keeps the graph alive, so anything holding
+  // the hierarchy (engine, cache entry, ticket payload) is freely movable.
+  ShermanHierarchy(std::shared_ptr<const Graph> graph,
+                   const ShermanOptions& options, Rng& rng);
+
+  // Non-owning view for stack-local graphs; the caller guarantees the
+  // graph outlives the hierarchy.
   ShermanHierarchy(const Graph& g, const ShermanOptions& options, Rng& rng);
 
   [[nodiscard]] const Graph& graph() const { return *graph_; }
+  [[nodiscard]] const std::shared_ptr<const Graph>& shared_graph() const {
+    return graph_;
+  }
   [[nodiscard]] const CongestionApproximator& approximator() const {
     return *approximator_;
   }
@@ -82,7 +92,7 @@ class ShermanHierarchy {
   [[nodiscard]] double build_rounds() const { return build_rounds_; }
 
  private:
-  const Graph* graph_;
+  std::shared_ptr<const Graph> graph_;  // null deleter in the view form
   std::unique_ptr<const CongestionApproximator> approximator_;
   RootedTree mwst_;  // max-weight spanning tree for residual rerouting
   double alpha_ = 2.0;

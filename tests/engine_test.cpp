@@ -1,10 +1,12 @@
-// Tests for the FlowEngine: batched execution matches sequential
-// single-query execution bitwise, thread count never changes results,
-// the SolverRegistry dispatches tiny/exact instances to the exact
-// baselines, and engine stats account the work.
+// Tests for the FlowEngine: the async submit API matches the run_batch
+// shim bitwise, thread count never changes results, the SolverRegistry
+// dispatches tiny/exact instances to the exact baselines, failures
+// resolve with typed ErrorCodes, and engine stats account the work.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "baselines/dinic.h"
 #include "engine/engine.h"
@@ -48,7 +50,7 @@ std::vector<EngineQuery> mixed_batch(const Graph& g, int pairs, Rng& rng) {
   return queries;
 }
 
-TEST(FlowEngine, BatchedMatchesSequentialBitwiseAtOneThread) {
+TEST(FlowEngine, SubmitMatchesRunBatchBitwise) {
   Rng rng(11);
   const Graph g = make_gnp_connected(90, 0.07, {1, 9}, rng);
   const std::vector<EngineQuery> queries = mixed_batch(g, 6, rng);
@@ -56,10 +58,10 @@ TEST(FlowEngine, BatchedMatchesSequentialBitwiseAtOneThread) {
   FlowEngine batch_engine(g, small_options(/*threads=*/1));
   const std::vector<QueryOutcome> batched = batch_engine.run_batch(queries);
 
-  FlowEngine seq_engine(g, small_options(/*threads=*/1));
+  FlowEngine async_engine(g, small_options(/*threads=*/1));
   ASSERT_EQ(batched.size(), queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    const QueryOutcome single = seq_engine.run(queries[i]);
+    const QueryOutcome single = async_engine.run(queries[i]);
     ASSERT_TRUE(batched[i].ok) << batched[i].error;
     ASSERT_TRUE(single.ok) << single.error;
     EXPECT_EQ(batched[i].solver, single.solver);
@@ -98,8 +100,6 @@ TEST(FlowEngine, ThreadCountDoesNotChangeResults) {
     ASSERT_TRUE(a[i].ok && b[i].ok);
     EXPECT_EQ(a[i].solver, b[i].solver);
     if (a[i].max_flow) {
-      // The ISSUE asks for tolerance here; the per-query RNG-stream
-      // design actually delivers bitwise identity, which we lock in.
       EXPECT_EQ(a[i].max_flow->value, b[i].max_flow->value);
       EXPECT_EQ(a[i].max_flow->flow, b[i].max_flow->flow);
     }
@@ -108,8 +108,10 @@ TEST(FlowEngine, ThreadCountDoesNotChangeResults) {
       EXPECT_EQ(a[i].route->flow, b[i].route->flow);
     }
     if (a[i].multi_terminal) {
-      EXPECT_NEAR(a[i].multi_terminal->value, b[i].multi_terminal->value,
-                  1e-12 * (1.0 + std::abs(a[i].multi_terminal->value)));
+      // The shared-hierarchy path is fully deterministic: bitwise, not
+      // merely near.
+      EXPECT_EQ(a[i].multi_terminal->value, b[i].multi_terminal->value);
+      EXPECT_EQ(a[i].multi_terminal->flow, b[i].multi_terminal->flow);
     }
   }
 }
@@ -118,28 +120,29 @@ TEST(FlowEngine, RegistryPicksExactBaselineForTinyInstances) {
   Rng rng(17);
   const Graph g = make_gnp_connected(24, 0.3, {1, 7}, rng);  // n <= cutoff
   FlowEngine engine(g, small_options(1));
-  const QueryOutcome outcome = engine.run(MaxFlowQuery{0, 23});
-  ASSERT_TRUE(outcome.ok) << outcome.error;
-  EXPECT_NE(outcome.solver.find("exact"), std::string::npos);
-  ASSERT_TRUE(outcome.max_flow.has_value());
-  EXPECT_DOUBLE_EQ(outcome.max_flow->value, dinic_max_flow_value(g, 0, 23));
-  EXPECT_DOUBLE_EQ(outcome.max_flow->alpha, 1.0);
+  MaxFlowTicket ticket = engine.submit(MaxFlowQuery{0, 23});
+  const Result<MaxFlowApproxResult> result = ticket.get();
+  ASSERT_TRUE(result.ok()) << result.message;
+  EXPECT_NE(result.solver.find("exact"), std::string::npos);
+  EXPECT_DOUBLE_EQ(result.value().value, dinic_max_flow_value(g, 0, 23));
+  EXPECT_DOUBLE_EQ(result.value().alpha, 1.0);
 }
 
 TEST(FlowEngine, ExactFlagForcesBaselineOnLargeInstances) {
   Rng rng(19);
   const Graph g = make_gnp_connected(120, 0.06, {1, 9}, rng);
   FlowEngine engine(g, small_options(1));
-  const QueryOutcome exact = engine.run(MaxFlowQuery{0, 119, 0.0, true});
-  ASSERT_TRUE(exact.ok) << exact.error;
+  const Result<MaxFlowApproxResult> exact =
+      engine.submit(MaxFlowQuery{0, 119, 0.0, true}).get();
+  ASSERT_TRUE(exact.ok()) << exact.message;
   EXPECT_NE(exact.solver.find("exact"), std::string::npos);
-  const QueryOutcome approx = engine.run(MaxFlowQuery{0, 119});
-  ASSERT_TRUE(approx.ok) << approx.error;
+  const Result<MaxFlowApproxResult> approx =
+      engine.submit(MaxFlowQuery{0, 119}).get();
+  ASSERT_TRUE(approx.ok()) << approx.message;
   EXPECT_EQ(approx.solver, "sherman-approx");
   // Theorem 1.1 quality: approx within (1 +- slack) of exact.
-  EXPECT_GT(approx.max_flow->value, 0.5 * exact.max_flow->value);
-  EXPECT_LE(approx.max_flow->value,
-            exact.max_flow->value * (1.0 + 1e-9));
+  EXPECT_GT(approx.value().value, 0.5 * exact.value().value);
+  EXPECT_LE(approx.value().value, exact.value().value * (1.0 + 1e-9));
 }
 
 TEST(FlowEngine, RegistryStandardPolicy) {
@@ -160,16 +163,15 @@ TEST(FlowEngine, RouteQueryRoutesDemandExactly) {
   std::vector<double> demand(70, 0.0);
   demand[3] = 4.0;
   demand[60] = -4.0;
-  const QueryOutcome outcome = engine.run(RouteQuery{demand});
-  ASSERT_TRUE(outcome.ok) << outcome.error;
-  ASSERT_TRUE(outcome.route.has_value());
-  const std::vector<double> div = flow_divergence(g, outcome.route->flow);
+  const Result<RouteResult> result = engine.submit(RouteQuery{demand}).get();
+  ASSERT_TRUE(result.ok()) << result.message;
+  const std::vector<double> div = flow_divergence(g, result.value().flow);
   for (std::size_t v = 0; v < div.size(); ++v) {
     EXPECT_NEAR(div[v], demand[v], 1e-6);
   }
 }
 
-TEST(FlowEngine, FailuresAreReportedNotThrown) {
+TEST(FlowEngine, FailuresAreTypedNotThrown) {
   Rng rng(29);
   const Graph g = make_gnp_connected(40, 0.15, {1, 5}, rng);
   FlowEngine engine(g, small_options(2));
@@ -179,10 +181,22 @@ TEST(FlowEngine, FailuresAreReportedNotThrown) {
   const std::vector<QueryOutcome> outcomes =
       engine.run_batch({RouteQuery{bad}, MaxFlowQuery{0, 39}});
   EXPECT_FALSE(outcomes[0].ok);
+  EXPECT_EQ(outcomes[0].code, ErrorCode::kInvalidQuery);
   EXPECT_FALSE(outcomes[0].error.empty());
   EXPECT_TRUE(outcomes[1].ok) << outcomes[1].error;
+  EXPECT_EQ(outcomes[1].code, ErrorCode::kOk);
   EXPECT_EQ(engine.stats().queries_failed, 1);
   EXPECT_EQ(engine.stats().queries_served, 1);
+
+  // The typed API reports the same taxonomy.
+  EXPECT_EQ(engine.submit(MaxFlowQuery{0, 0}).get().code,
+            ErrorCode::kInvalidQuery);
+  EXPECT_EQ(engine.submit(MaxFlowQuery{0, 999}).get().code,
+            ErrorCode::kInvalidQuery);
+  EXPECT_EQ(engine.submit(MultiTerminalQuery{{0, 1}, {1, 2}}).get().code,
+            ErrorCode::kInvalidQuery);
+  EXPECT_EQ(engine.submit(MultiTerminalQuery{{}, {2}}).get().code,
+            ErrorCode::kInvalidQuery);
 }
 
 TEST(FlowEngine, StatsAmortizeBuildOverQueries) {
@@ -196,11 +210,34 @@ TEST(FlowEngine, StatsAmortizeBuildOverQueries) {
     queries.push_back(MaxFlowQuery{0, static_cast<NodeId>(59 - i % 7)});
   }
   engine.run_batch(queries);
-  const EngineStats& stats = engine.stats();
+  const EngineStats stats = engine.stats();
   EXPECT_EQ(stats.queries_served, 10);
   EXPECT_LE(stats.amortized_build_seconds_per_query(),
             stats.build_seconds + 1e-12);
   EXPECT_GT(stats.query_seconds_total, 0.0);
+}
+
+TEST(FlowEngine, EngineIsMovable) {
+  Rng rng(37);
+  const Graph g = make_gnp_connected(50, 0.12, {1, 9}, rng);
+  FlowEngine original(g, small_options(1));
+  const Result<MaxFlowApproxResult> before =
+      original.submit(MaxFlowQuery{0, 49}).get();
+  ASSERT_TRUE(before.ok()) << before.message;
+
+  FlowEngine moved(std::move(original));
+  const Result<MaxFlowApproxResult> after =
+      moved.submit(MaxFlowQuery{0, 49}).get();
+  ASSERT_TRUE(after.ok()) << after.message;
+  EXPECT_EQ(before.value().value, after.value().value);
+  EXPECT_EQ(before.value().flow, after.value().flow);
+
+  FlowEngine assigned(make_path(5, {1, 1}, rng), small_options(1));
+  assigned = std::move(moved);
+  const Result<MaxFlowApproxResult> reassigned =
+      assigned.submit(MaxFlowQuery{0, 49}).get();
+  ASSERT_TRUE(reassigned.ok()) << reassigned.message;
+  EXPECT_EQ(before.value().value, reassigned.value().value);
 }
 
 }  // namespace

@@ -1,7 +1,10 @@
 // Tests for the multi-source / multi-sink wrapper.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "baselines/dinic.h"
+#include "engine/result.h"
 #include "graph/flow.h"
 #include "graph/generators.h"
 #include "maxflow/multi_terminal.h"
@@ -89,6 +92,49 @@ TEST(MultiTerminal, RejectsBadTerminalSets) {
                RequirementError);
   EXPECT_THROW(approx_max_flow_multi(g, {9}, {4}, 0.3, rng),
                RequirementError);
+}
+
+TEST(MultiTerminal, RejectsIsolatedTerminals) {
+  // Node 3 has no incident edges: the old code gave its virtual edge a
+  // 1e-9 capacity and reported a meaningless near-zero flow; now it is
+  // rejected with a classifiable error.
+  Graph g(4);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  try {
+    build_super_terminal_graph(g, {0}, {3});
+    FAIL() << "isolated sink was accepted";
+  } catch (const RequirementError& e) {
+    EXPECT_NE(std::string(e.what()).find("isolated terminal"),
+              std::string::npos);
+    EXPECT_EQ(classify_error(e), ErrorCode::kIsolatedTerminal);
+  }
+  EXPECT_THROW(build_super_terminal_graph(g, {3}, {2}), RequirementError);
+  // Non-isolated terminals still work, with full-weighted-degree virtual
+  // edges.
+  const SuperTerminalGraph st = build_super_terminal_graph(g, {0}, {2});
+  EXPECT_EQ(st.graph.num_edges(), g.num_edges() + 2);
+  EXPECT_DOUBLE_EQ(st.graph.capacity(g.num_edges()), 2.0);      // deg(0)
+  EXPECT_DOUBLE_EQ(st.graph.capacity(g.num_edges() + 1), 3.0);  // deg(2)
+}
+
+TEST(MultiTerminal, CanonicalTerminalsSortAndDeduplicate) {
+  EXPECT_EQ(canonical_terminals({3, 1, 2, 1, 3}),
+            (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(canonical_terminals({}), std::vector<NodeId>{});
+}
+
+TEST(MultiTerminal, TerminalOrderDoesNotChangeResult) {
+  Rng graph_rng(1129);
+  const Graph g = make_gnp_connected(24, 0.2, {1, 8}, graph_rng);
+  Rng rng_forward(777);
+  Rng rng_permuted(777);
+  const MultiTerminalMaxFlowResult forward =
+      approx_max_flow_multi(g, {0, 1}, {22, 23}, 0.25, rng_forward);
+  const MultiTerminalMaxFlowResult permuted =
+      approx_max_flow_multi(g, {1, 0}, {23, 22}, 0.25, rng_permuted);
+  EXPECT_EQ(forward.value, permuted.value);
+  EXPECT_EQ(forward.flow, permuted.flow);
 }
 
 }  // namespace
