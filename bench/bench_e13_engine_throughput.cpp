@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1337;
 
+  bench::JsonArtifact artifact("BENCH_e13.json");
   bench::print_header("E13", "engine batched throughput vs per-query builds");
   // value_ratio: mean engine/naive max-flow value — shows the engine's
   // throughput-tuned routing stays well inside the (1+eps) promise.
@@ -105,11 +106,19 @@ int main(int argc, char** argv) {
     }
 
     const double qps = static_cast<double>(num_queries) / engine_seconds;
+    const double value_ratio =
+        ratio_count > 0 ? ratio_sum / ratio_count : 0.0;
     bench::print_row(
         {family, bench::fmt_int(n), bench::fmt_int(num_queries),
          bench::fmt(engine_seconds), bench::fmt(naive_seconds),
          bench::fmt(qps, 1), bench::fmt(naive_seconds / engine_seconds, 1),
-         bench::fmt(ratio_count > 0 ? ratio_sum / ratio_count : 0.0)});
+         bench::fmt(value_ratio)});
+    artifact.add({{"scenario", std::string("e13_batch_vs_naive_") + family},
+                  {"n", static_cast<int>(n)},
+                  {"queries", num_queries},
+                  {"throughput_qps", qps},
+                  {"speedup", naive_seconds / engine_seconds},
+                  {"value_ratio", value_ratio}});
     if (failures > 0) {
       std::printf("  WARNING: %d queries failed\n", failures);
     }
@@ -143,6 +152,13 @@ int main(int argc, char** argv) {
                       bench::fmt(static_cast<double>(num_queries) /
                                      batch_seconds,
                                  1)});
+    artifact.add(
+        {{"scenario",
+          std::string("e13b_pool_scaling_t") + std::to_string(threads)},
+         {"n", static_cast<int>(n)},
+         {"queries", num_queries},
+         {"throughput_qps", static_cast<double>(num_queries) / batch_seconds},
+         {"value_ratio", 1.0}});
   }
 
   // --- E13c: async submit vs the run_batch shim on one engine. ---
@@ -187,6 +203,13 @@ int main(int argc, char** argv) {
                                      async_seconds,
                                  1),
                       identical ? "yes" : "NO"});
+    artifact.add(
+        {{"scenario", "e13c_submit_vs_run_batch"},
+         {"n", static_cast<int>(n)},
+         {"queries", num_queries},
+         {"throughput_qps", static_cast<double>(num_queries) / async_seconds},
+         {"speedup", batch_seconds / async_seconds},
+         {"value_ratio", identical ? 1.0 : 0.0}});
   }
 
   // --- E13d: multi-terminal hierarchy cache on repeated terminal sets. ---
@@ -205,6 +228,7 @@ int main(int argc, char** argv) {
     // The fixed terminal sets below (nodes 0..8 vs n-9..n-1) need room
     // to stay disjoint and above the exact-dispatch cutoff.
     std::printf("  (skipped: needs n >= 32, got %d)\n", n);
+    artifact.write();
     return 0;
   }
   {
@@ -283,6 +307,14 @@ int main(int argc, char** argv) {
                       bench::fmt(total / baseline_seconds, 1),
                       bench::fmt_int(static_cast<int>(total)), "0", "1.000",
                       "-"});
+    artifact.add({{"scenario", "e13d_multi_terminal_cache"},
+                  {"n", static_cast<int>(n)},
+                  {"queries", static_cast<int>(total)},
+                  {"throughput_qps", total / engine_seconds},
+                  {"speedup", baseline_seconds / engine_seconds},
+                  {"value_ratio",
+                   ratio_count > 0 ? ratio_sum / ratio_count : 0.0}});
   }
+  artifact.write();
   return 0;
 }

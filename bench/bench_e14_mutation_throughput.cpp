@@ -1,0 +1,274 @@
+// E14: query throughput through a rolling capacity-update workload.
+//
+// The versioned mutation path's thesis: apply(MutationBatch) publishes a
+// new snapshot and rebuilds the hierarchy in the background, so the
+// engine keeps serving queries (from the previous snapshot) instead of
+// stalling for every rebuild. This experiment runs `rounds` rounds of
+// {mutate 8 edge capacities, immediately fire a wave of s-t queries} two
+// ways:
+//
+//   rolling:  ONE long-lived engine, apply() + background refresh — the
+//             wave overlaps the rebuild; stale_served counts the queries
+//             answered from the pre-mutation snapshot meanwhile.
+//   teardown: the pre-GraphStore way — build a fresh engine per
+//             mutation (full synchronous hierarchy build), then serve
+//             the wave.
+//
+// Acceptance: every rolling round sustains non-zero throughput (no
+// full-stop), and after the dust settles a probe query on the final
+// snapshot matches a fresh engine built directly on that graph bitwise.
+//
+//   ./bench_e14_mutation_throughput [n] [wave_queries] [rounds] [seed]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+#include "graph/graph_store.h"
+#include "util/rng.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// The round's capacity shuffle; deterministic so the rolling engine and
+// the teardown baseline see identical graph trajectories.
+dmf::MutationBatch round_batch(int round, dmf::EdgeId num_edges) {
+  dmf::MutationBatch batch;
+  for (int k = 0; k < 8; ++k) {
+    const auto e = static_cast<dmf::EdgeId>((round * 13 + k * 5) %
+                                            static_cast<int>(num_edges));
+    batch.set_capacity(e, 1.0 + static_cast<double>((round + k) % 7));
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dmf;
+  const NodeId n = argc > 1 ? std::atoi(argv[1]) : 180;
+  const int wave_queries = argc > 2 ? std::atoi(argv[2]) : 24;
+  const int rounds = argc > 3 ? std::atoi(argv[3]) : 6;
+  const std::uint64_t seed =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1337;
+
+  bench::JsonArtifact artifact("BENCH_e14.json");
+  Rng rng(seed);
+  const Graph g = bench::make_family("gnp", n, rng);
+
+  // Fixed query mix reused by every wave (and both modes).
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (int i = 0; i < wave_queries; ++i) {
+    const NodeId s = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(g.num_nodes())));
+    NodeId t = s;
+    while (t == s) {
+      t = static_cast<NodeId>(
+          rng.next_below(static_cast<std::uint64_t>(g.num_nodes())));
+    }
+    pairs.emplace_back(s, t);
+  }
+
+  EngineOptions options;
+  options.threads = 4;  // >= 2: workers keep serving while one rebuilds
+  options.sherman.num_trees = 6;
+  options.seed = seed;
+
+  // --- E14a: steady-state throughput (no mutations), for scale. ---
+  bench::print_header("E14a", "steady state (no mutations)");
+  bench::print_row({"queries", "seconds", "qps"});
+  FlowEngine engine(g, options);
+  double steady_qps = 0.0;
+  {
+    const auto start = Clock::now();
+    std::vector<MaxFlowTicket> tickets;
+    for (const auto& [s, t] : pairs) {
+      tickets.push_back(engine.submit(MaxFlowQuery{s, t}));
+    }
+    int ok = 0;
+    for (MaxFlowTicket& t : tickets) ok += t.get().ok() ? 1 : 0;
+    const double secs = seconds_since(start);
+    steady_qps = ok / secs;
+    bench::print_row({bench::fmt_int(ok), bench::fmt(secs),
+                      bench::fmt(steady_qps, 1)});
+    artifact.add({{"scenario", "e14a_steady"},
+                  {"n", static_cast<int>(n)},
+                  {"queries", ok},
+                  {"throughput_qps", steady_qps},
+                  {"value_ratio", 1.0}});
+  }
+
+  // --- E14b: rolling updates on the live engine. ---
+  bench::print_header("E14b",
+                      "rolling capacity updates, background refresh");
+  // first_s: mutation -> first answered query. The rolling engine keeps
+  // serving from the previous snapshot, so this stays at one query's
+  // latency; the teardown baseline below pays a full hierarchy build
+  // first — that difference is the stall this experiment is about.
+  bench::print_row({"round", "version", "wave_s", "qps", "first_s",
+                    "stale_served", "served_from"});
+  const auto rolling_start = Clock::now();
+  int rolling_ok = 0;
+  double rolling_first_sum = 0.0;
+  std::int64_t last_stale = 0;
+  bool any_stale = false;
+  bool every_round_served = true;
+  for (int round = 0; round < rounds; ++round) {
+    const auto round_start = Clock::now();
+    const GraphVersion version =
+        engine.apply(round_batch(round, g.num_edges()));
+    std::vector<MaxFlowTicket> tickets;
+    for (const auto& [s, t] : pairs) {
+      tickets.push_back(engine.submit(MaxFlowQuery{s, t}));
+    }
+    int ok = 0;
+    GraphVersion min_served = version;
+    GraphVersion max_served = 0;
+    double first_seconds = 0.0;
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      // Workers pop in submission order here, so ticket 0 resolves
+      // first (up to scheduling noise): its get() bounds the
+      // mutation-to-first-answer latency.
+      const Result<MaxFlowApproxResult> r = tickets[i].get();
+      if (i == 0) first_seconds = seconds_since(round_start);
+      if (r.ok()) {
+        ++ok;
+        min_served = std::min(min_served, r.served_version);
+        max_served = std::max(max_served, r.served_version);
+      }
+    }
+    const double wave_seconds = seconds_since(round_start);
+    rolling_ok += ok;
+    rolling_first_sum += first_seconds;
+    if (ok == 0) every_round_served = false;
+    const EngineStats mid = engine.stats();
+    const std::int64_t stale_this_wave =
+        mid.queries_served_stale - last_stale;
+    last_stale = mid.queries_served_stale;
+    any_stale = any_stale || stale_this_wave > 0;
+    bench::print_row(
+        {bench::fmt_int(round), bench::fmt_int(static_cast<long long>(version)),
+         bench::fmt(wave_seconds), bench::fmt(ok / wave_seconds, 1),
+         bench::fmt(first_seconds), bench::fmt_int(stale_this_wave),
+         "v" + std::to_string(min_served) + "..v" +
+             std::to_string(max_served)});
+  }
+  const double rolling_seconds = seconds_since(rolling_start);
+  const double rolling_qps = rolling_ok / rolling_seconds;
+  const double rolling_first_mean = rolling_first_sum / rounds;
+
+  // Let the last rebuild land, then probe the final snapshot.
+  const GraphVersion final_version = engine.latest_version();
+  engine.wait_for_version(final_version);
+  const EngineStats rolled = engine.stats();
+
+  // --- E14c: teardown baseline (fresh engine per mutation). ---
+  bench::print_header("E14c", "teardown baseline (fresh engine per update)");
+  bench::print_row({"round", "build+wave_s", "qps", "first_s"});
+  GraphStore baseline_store{Graph(g)};
+  const auto teardown_start = Clock::now();
+  int teardown_ok = 0;
+  double teardown_first_sum = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    const auto round_start = Clock::now();
+    const GraphSnapshot snap =
+        baseline_store.apply(round_batch(round, g.num_edges()));
+    FlowEngine fresh(Graph(*snap.graph), options);  // the stall
+    std::vector<MaxFlowTicket> tickets;
+    for (const auto& [s, t] : pairs) {
+      tickets.push_back(fresh.submit(MaxFlowQuery{s, t}));
+    }
+    int ok = 0;
+    double first_seconds = 0.0;
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      ok += tickets[i].get().ok() ? 1 : 0;
+      if (i == 0) first_seconds = seconds_since(round_start);
+    }
+    teardown_ok += ok;
+    teardown_first_sum += first_seconds;
+    const double round_seconds = seconds_since(round_start);
+    bench::print_row({bench::fmt_int(round), bench::fmt(round_seconds),
+                      bench::fmt(ok / round_seconds, 1),
+                      bench::fmt(first_seconds)});
+  }
+  const double teardown_seconds = seconds_since(teardown_start);
+  const double teardown_qps = teardown_ok / teardown_seconds;
+  const double teardown_first_mean = teardown_first_sum / rounds;
+
+  // --- Post-swap correctness: the rolled engine vs a fresh build. ---
+  const QueryOutcome probe = engine.run(MaxFlowQuery{pairs[0].first,
+                                                     pairs[0].second});
+  FlowEngine reference(
+      Graph(*engine.store()->snapshot(final_version).graph), options);
+  const QueryOutcome want = reference.run(MaxFlowQuery{pairs[0].first,
+                                                       pairs[0].second});
+  const bool post_swap_match =
+      probe.ok && want.ok && probe.served_version == final_version &&
+      probe.max_flow->value == want.max_flow->value &&
+      probe.max_flow->flow == want.max_flow->flow;
+  const double post_swap_ratio =
+      probe.ok && want.ok && want.max_flow->value > 0.0
+          ? probe.max_flow->value / want.max_flow->value
+          : 0.0;
+
+  bench::print_header("E14", "summary");
+  bench::print_row(
+      {"mode", "queries", "seconds", "qps", "first_s", "speedup"});
+  bench::print_row({"rolling", bench::fmt_int(rolling_ok),
+                    bench::fmt(rolling_seconds), bench::fmt(rolling_qps, 1),
+                    bench::fmt(rolling_first_mean),
+                    bench::fmt(teardown_seconds / rolling_seconds, 2)});
+  bench::print_row({"teardown", bench::fmt_int(teardown_ok),
+                    bench::fmt(teardown_seconds), bench::fmt(teardown_qps, 1),
+                    bench::fmt(teardown_first_mean), "-"});
+  std::printf("mutation-to-first-answer stall: %.2fx lower with "
+              "background refresh\n",
+              rolling_first_mean > 0.0
+                  ? teardown_first_mean / rolling_first_mean
+                  : 0.0);
+  std::printf(
+      "rebuilds started %lld, completed %lld, failed %lld; stale-served "
+      "%lld of %lld; parked %lld\n",
+      static_cast<long long>(rolled.rebuilds_started),
+      static_cast<long long>(rolled.rebuilds_completed),
+      static_cast<long long>(rolled.rebuilds_failed),
+      static_cast<long long>(rolled.queries_served_stale),
+      static_cast<long long>(rolled.queries_served),
+      static_cast<long long>(rolled.queries_parked));
+  std::printf("served during rebuilds: %s; every round served: %s; "
+              "post-swap matches fresh engine: %s\n",
+              any_stale ? "yes" : "NO (rebuilds landed between waves)",
+              every_round_served ? "yes" : "NO",
+              post_swap_match ? "yes (bitwise)" : "NO");
+
+  artifact.add({{"scenario", "e14b_rolling_updates"},
+                {"n", static_cast<int>(n)},
+                {"queries", rolling_ok},
+                {"rounds", rounds},
+                {"throughput_qps", rolling_qps},
+                {"speedup", teardown_seconds / rolling_seconds},
+                {"first_result_s", rolling_first_mean},
+                {"stale_served",
+                 static_cast<long long>(rolled.queries_served_stale)},
+                {"rebuilds_completed",
+                 static_cast<long long>(rolled.rebuilds_completed)},
+                {"value_ratio", post_swap_ratio}});
+  artifact.add({{"scenario", "e14c_teardown_baseline"},
+                {"n", static_cast<int>(n)},
+                {"queries", teardown_ok},
+                {"rounds", rounds},
+                {"throughput_qps", teardown_qps},
+                {"first_result_s", teardown_first_mean},
+                {"value_ratio", 1.0}});
+  artifact.write();
+  return every_round_served && post_swap_match ? 0 : 1;
+}

@@ -3,8 +3,10 @@
 // one table of EXPERIMENTS.md.
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/generators.h"
@@ -56,5 +58,74 @@ inline std::string fmt_int(long long x) { return std::to_string(x); }
 inline void print_header(const std::string& id, const std::string& title) {
   std::printf("\n==== %s: %s ====\n", id.c_str(), title.c_str());
 }
+
+// --- machine-readable artifacts ---------------------------------------------
+// Alongside its text table, a bench binary emits one flat JSON array of
+// records (BENCH_e13.json, BENCH_e14.json, ...) so the perf trajectory
+// stays trackable across PRs without parsing the human-facing log.
+
+class JsonValue {
+ public:
+  JsonValue(double v) {  // NOLINT(google-explicit-constructor)
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+    encoded_ = buffer;
+  }
+  JsonValue(int v) : encoded_(std::to_string(v)) {}  // NOLINT
+  JsonValue(long long v) : encoded_(std::to_string(v)) {}  // NOLINT
+  JsonValue(const char* v) : encoded_(quote(v)) {}  // NOLINT
+  JsonValue(const std::string& v) : encoded_(quote(v)) {}  // NOLINT
+
+  [[nodiscard]] const std::string& encoded() const { return encoded_; }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+  }
+  std::string encoded_;
+};
+
+using JsonRecord = std::vector<std::pair<std::string, JsonValue>>;
+
+class JsonArtifact {
+ public:
+  explicit JsonArtifact(std::string path) : path_(std::move(path)) {}
+
+  void add(const JsonRecord& record) { records_.push_back(record); }
+
+  // Writes the collected records and reports where. Call once at the
+  // end of main().
+  void write() const {
+    std::FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "WARNING: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fputs("[\n", out);
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      std::fputs("  {", out);
+      for (std::size_t f = 0; f < records_[i].size(); ++f) {
+        std::fprintf(out, "%s\"%s\": %s", f == 0 ? "" : ", ",
+                     records_[i][f].first.c_str(),
+                     records_[i][f].second.encoded().c_str());
+      }
+      std::fprintf(out, "}%s\n", i + 1 < records_.size() ? "," : "");
+    }
+    std::fputs("]\n", out);
+    std::fclose(out);
+    std::printf("\nwrote %s (%d records)\n", path_.c_str(),
+                static_cast<int>(records_.size()));
+  }
+
+ private:
+  std::string path_;
+  std::vector<JsonRecord> records_;
+};
 
 }  // namespace dmf::bench

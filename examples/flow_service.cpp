@@ -3,8 +3,13 @@
 // Models the ROADMAP's "heavy traffic" shape: a service thread keeps
 // submitting work in waves while completions stream back out of order
 // through callbacks, stats are polled mid-flight, a low-priority batch
-// job coexists with high-priority interactive queries, and stragglers
-// are cancelled when their wave's deadline passes.
+// job coexists with high-priority interactive queries, stragglers are
+// cancelled when their wave's deadline passes — and the graph itself
+// changes underneath the traffic: every other wave applies a capacity
+// update (MutationBatch), the hierarchy refreshes in the background
+// while queries keep being served from the previous snapshot, and one
+// read-your-writes probe per update parks on min_version until the
+// fresh snapshot is servable.
 //
 //   ./example_flow_service [n] [waves] [wave_queries] [threads] [seed]
 #include <atomic>
@@ -14,6 +19,7 @@
 
 #include "engine/engine.h"
 #include "graph/generators.h"
+#include "graph/graph_store.h"
 #include "util/rng.h"
 
 int main(int argc, char** argv) {
@@ -54,7 +60,33 @@ int main(int argc, char** argv) {
   std::atomic<int> completed{0};
   std::atomic<int> failed{0};
   double value_sum = 0.0;  // only touched after wait_all
+  std::vector<MaxFlowTicket> fresh_probes;  // min_version read-your-writes
   for (int wave = 0; wave < waves; ++wave) {
+    // Live reconfiguration: every other wave bumps a few capacities.
+    // apply() returns immediately — the hierarchy rebuild runs on the
+    // pool while this wave's queries are served from the previous
+    // snapshot (their results carry served_version).
+    if (wave % 2 == 1) {
+      MutationBatch update;
+      for (int k = 0; k < 4; ++k) {
+        const auto e = static_cast<EdgeId>(
+            rng.next_below(static_cast<std::uint64_t>(g.num_edges())));
+        update.set_capacity(e, 1.0 + static_cast<double>(
+                                         rng.next_below(16)));
+      }
+      const GraphVersion v = engine.apply(update);
+      std::printf("wave %d: applied capacity update -> v%llu (serving v%llu "
+                  "meanwhile)\n",
+                  wave, static_cast<unsigned long long>(v),
+                  static_cast<unsigned long long>(engine.serving_version()));
+      // Read-your-writes: this probe parks until v is servable, then
+      // runs against the updated snapshot.
+      SubmitOptions fresh_only;
+      fresh_only.min_version = v;
+      fresh_probes.push_back(
+          engine.submit(MaxFlowQuery{0, static_cast<NodeId>(n - 1)},
+                        fresh_only));
+    }
     std::vector<MaxFlowTicket> inflight;
     std::atomic<int> wave_completed{0};
     for (int i = 0; i < wave_queries; ++i) {
@@ -109,10 +141,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  engine.wait_all();  // background job included
+  engine.wait_all();  // background job and parked probes included
   for (MultiTerminalTicket& ticket : background) {
     Result<MultiTerminalMaxFlowResult> r = ticket.get();
     if (r.ok()) value_sum += r.value().value;
+  }
+  for (MaxFlowTicket& ticket : fresh_probes) {
+    Result<MaxFlowApproxResult> r = ticket.get();
+    if (r.ok()) {
+      std::printf("read-your-writes probe served from v%llu: value %.3f\n",
+                  static_cast<unsigned long long>(r.served_version),
+                  r.value().value);
+    }
   }
 
   const EngineStats stats = engine.stats();
@@ -120,9 +160,19 @@ int main(int argc, char** argv) {
               "ok, value sum %.3f\n",
               completed.load(), failed.load(), background_done.load(),
               value_sum);
-  std::printf("served %lld, cancelled %lld, amortized build %.4fs/query\n",
+  std::printf("served %lld (stale %lld, parked %lld), cancelled %lld, "
+              "amortized build %.4fs/query\n",
               static_cast<long long>(stats.queries_served),
+              static_cast<long long>(stats.queries_served_stale),
+              static_cast<long long>(stats.queries_parked),
               static_cast<long long>(stats.queries_cancelled),
               stats.amortized_build_seconds_per_query());
+  std::printf("graph versions: serving v%llu of latest v%llu; rebuilds "
+              "%lld/%lld completed/started in %.3fs total\n",
+              static_cast<unsigned long long>(stats.serving_version),
+              static_cast<unsigned long long>(stats.latest_version),
+              static_cast<long long>(stats.rebuilds_completed),
+              static_cast<long long>(stats.rebuilds_started),
+              stats.rebuild_seconds_total);
   return 0;
 }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -24,6 +26,11 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// Rebuild tasks outrank every query so staleness stays bounded by one
+// build, not by the queue depth; with >= 2 workers the remaining
+// workers keep serving queries from the previous snapshot meanwhile.
+constexpr int kRebuildPriority = std::numeric_limits<int>::max();
+
 // Content hashing for per-terminal-set RNG streams (FNV-1a over 64-bit
 // words).
 struct ContentHash {
@@ -39,64 +46,237 @@ struct ContentHash {
 // --- Core --------------------------------------------------------------------
 
 struct FlowEngine::Core {
-  std::shared_ptr<const Graph> graph;
+  // Everything a query needs to run against one consistent graph
+  // generation. Immutable once published; queries grab the current one
+  // at execution start and keep it (shared_ptr) until they resolve, so
+  // a concurrent swap can never mix generations within a query. The
+  // HierarchyCache lives here — per snapshot — so multi-terminal
+  // entries of different generations can never be confused.
+  struct Serving {
+    GraphSnapshot snapshot;
+    std::shared_ptr<const ShermanHierarchy> hierarchy;
+    ShermanSolver solver;  // default-accuracy solver on the hierarchy
+    std::shared_ptr<HierarchyCache> cache;
+
+    Serving(GraphSnapshot snap, std::shared_ptr<const ShermanHierarchy> h,
+            const ShermanOptions& solver_options, std::size_t cache_capacity)
+        : snapshot(std::move(snap)),
+          hierarchy(std::move(h)),
+          solver(hierarchy, solver_options),
+          cache(std::make_shared<HierarchyCache>(cache_capacity)) {}
+  };
+
+  std::shared_ptr<GraphStore> store;
   EngineOptions options;
-  // stats precedes hierarchy: the hierarchy initializer times the build
-  // and records it in stats, which therefore must be constructed first.
   EngineStats stats;
   mutable std::mutex stats_mutex;
   // Whether the engine derived route_residual_tolerance itself (the
   // caller left it at the library default with tuning enabled); only
   // then may per-query option derivation re-derive it.
   bool routing_tuned = false;
-  std::shared_ptr<const ShermanHierarchy> hierarchy;
-  ShermanSolver solver;  // default-accuracy solver on the shared hierarchy
+  // The derived options every hierarchy build uses — identical for the
+  // constructor build and every background rebuild, so a rebuilt
+  // hierarchy is bitwise identical to the one a fresh engine would
+  // build on the same snapshot.
+  ShermanOptions build_sherman;
   SolverRegistry registry;
-  HierarchyCache cache;
 
-  Core(Graph g, EngineOptions opts)
-      : graph(std::make_shared<const Graph>(std::move(g))),
-        options(std::move(opts)),
-        hierarchy([&] {
-          // Derive the AlmostRoute accuracy from the engine accuracy when
-          // the caller left it at the library default, mirroring
-          // approx_max_flow / approx_max_flow_multi.
-          if (options.sherman.almost_route.epsilon ==
-              AlmostRouteOptions{}.epsilon) {
-            options.sherman.almost_route.epsilon =
-                std::min(0.5, options.sherman.epsilon);
-          }
-          if (options.tune_routing_for_throughput &&
-              options.sherman.route_residual_tolerance ==
-                  ShermanOptions{}.route_residual_tolerance) {
-            options.sherman.route_residual_tolerance =
-                options.sherman.epsilon / 4.0;
-            routing_tuned = true;
-          }
-          ShermanOptions sherman = options.sherman;
-          if (sherman.hierarchy.threads == 1) {
-            // The engine parallelizes the build on its own worker budget;
-            // sample_threads is the engine-level pin (sample_threads = 1
-            // keeps the build sequential).
-            sherman.hierarchy.threads =
-                options.sample_threads > 0
-                    ? options.sample_threads
-                    : resolve_worker_threads(options.threads);
-          }
-          const auto start = std::chrono::steady_clock::now();
-          Rng rng(options.seed);
-          auto built =
-              std::make_shared<const ShermanHierarchy>(graph, sherman, rng);
-          stats.build_seconds = seconds_since(start);
-          return built;
-        }()),
-        solver(hierarchy, options.sherman),
-        registry(SolverRegistry::standard(options.exact_cutoff_nodes,
-                                          options.exact_epsilon)),
-        cache(options.hierarchy_cache_capacity) {
-    stats.build_rounds = hierarchy->build_rounds();
-    stats.num_trees = hierarchy->approximator().num_trees();
-    stats.alpha = hierarchy->alpha();
+  // --- versioned serving state (guarded by version_mutex) ---
+  // Lock order: version_mutex may be taken first and stats_mutex inside
+  // it; never the reverse. Pool locks are below both (the pool never
+  // calls back into the engine while holding its own lock).
+  mutable std::mutex version_mutex;
+  std::condition_variable version_cv;  // signaled on every swap
+  std::shared_ptr<const Serving> serving;
+  // Highest version a build has already begun (or finished) for;
+  // coalesces the rebuild tasks of back-to-back applies.
+  GraphVersion rebuild_target = 0;
+  // Rebuild tasks scheduled but not yet finished (run to completion,
+  // failed, skipped, or cancelled at shutdown). wait_for_version and
+  // the failure path use it to tell "a build toward this version is
+  // still coming" from "nothing pending can serve this version".
+  int pending_rebuilds = 0;
+  struct ParkedQuery {
+    std::uint64_t id = 0;
+    GraphVersion min_version = 0;
+  };
+  std::vector<ParkedQuery> parked;
+  // Cache counters of retired snapshots, folded in on swap so stats
+  // stay cumulative across generations (guarded by stats_mutex).
+  std::int64_t retired_cache_hits = 0;
+  std::int64_t retired_cache_misses = 0;
+  // For releasing parked queries after a swap; weak so Core never keeps
+  // the pool (and its threads) alive past the engine.
+  std::weak_ptr<WorkerPool> pool;
+
+  Core(std::shared_ptr<GraphStore> store_in, EngineOptions opts)
+      : store(std::move(store_in)), options(std::move(opts)) {
+    DMF_REQUIRE(store != nullptr, "FlowEngine: null graph store");
+    // Derive the AlmostRoute accuracy from the engine accuracy when
+    // the caller left it at the library default, mirroring
+    // approx_max_flow / approx_max_flow_multi.
+    if (options.sherman.almost_route.epsilon ==
+        AlmostRouteOptions{}.epsilon) {
+      options.sherman.almost_route.epsilon =
+          std::min(0.5, options.sherman.epsilon);
+    }
+    if (options.tune_routing_for_throughput &&
+        options.sherman.route_residual_tolerance ==
+            ShermanOptions{}.route_residual_tolerance) {
+      options.sherman.route_residual_tolerance =
+          options.sherman.epsilon / 4.0;
+      routing_tuned = true;
+    }
+    build_sherman = options.sherman;
+    if (build_sherman.hierarchy.threads == 1) {
+      // The engine parallelizes the build on its own worker budget;
+      // sample_threads is the engine-level pin (sample_threads = 1
+      // keeps the build sequential).
+      build_sherman.hierarchy.threads =
+          options.sample_threads > 0
+              ? options.sample_threads
+              : resolve_worker_threads(options.threads);
+    }
+    registry = SolverRegistry::standard(options.exact_cutoff_nodes,
+                                        options.exact_epsilon);
+    const GraphSnapshot snap = store->snapshot();
+    const auto start = std::chrono::steady_clock::now();
+    serving = build_serving(snap);
+    stats.build_seconds = seconds_since(start);
+    stats.build_rounds = serving->hierarchy->build_rounds();
+    stats.num_trees = serving->hierarchy->approximator().num_trees();
+    stats.alpha = serving->hierarchy->alpha();
+    rebuild_target = snap.version;
+  }
+
+  // One hierarchy build, shared by the constructor and every background
+  // rebuild: seeded purely from the engine seed, so the result for a
+  // snapshot is independent of when (or whether) earlier rebuilds ran —
+  // and bitwise identical to a fresh engine built on that snapshot.
+  [[nodiscard]] std::shared_ptr<const Serving> build_serving(
+      const GraphSnapshot& snap) const {
+    Rng rng(options.seed);
+    auto hierarchy = std::make_shared<const ShermanHierarchy>(
+        snap.graph, build_sherman, rng, snap.version);
+    return std::make_shared<const Serving>(snap, std::move(hierarchy),
+                                           options.sherman,
+                                           options.hierarchy_cache_capacity);
+  }
+
+  [[nodiscard]] std::shared_ptr<const Serving> current_serving() const {
+    std::lock_guard<std::mutex> lock(version_mutex);
+    return serving;
+  }
+
+  // Remove and return the parked ids satisfied by `version`. Caller
+  // holds version_mutex.
+  std::vector<std::uint64_t> take_parked_up_to(GraphVersion version) {
+    std::vector<std::uint64_t> ids;
+    auto it = parked.begin();
+    while (it != parked.end()) {
+      if (it->min_version <= version) {
+        ids.push_back(it->id);
+        it = parked.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return ids;
+  }
+
+  // Caller holds version_mutex. Every scheduled rebuild task finishes
+  // through here exactly once (completion, failure, skip, or shutdown
+  // cancellation); waiters re-check their predicate afterwards.
+  void finish_pending_rebuild_locked() {
+    DMF_ASSERT(pending_rebuilds > 0, "pending_rebuilds underflow");
+    --pending_rebuilds;
+  }
+
+  // The background rebuild task body. Builds the hierarchy for the
+  // store's newest snapshot (coalescing any intermediate versions) and
+  // swaps it in atomically; queries keep running against the previous
+  // Serving throughout. Never throws — the pool requires it.
+  void run_rebuild() {
+    GraphSnapshot target;
+    {
+      std::lock_guard<std::mutex> lock(version_mutex);
+      target = store->snapshot();
+      if (serving->snapshot.version >= target.version ||
+          rebuild_target >= target.version) {  // current or already building
+        finish_pending_rebuild_locked();
+        version_cv.notify_all();
+        return;
+      }
+      rebuild_target = target.version;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      ++stats.rebuilds_started;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::shared_ptr<const Serving> next;
+    try {
+      next = build_serving(target);
+    } catch (...) {
+      // The snapshot cannot be served (e.g. the batch disconnected the
+      // graph). Keep serving the previous snapshot. Queries parked for
+      // a version this build was meant to satisfy are resolved — but
+      // only when no other rebuild is pending: a concurrent or queued
+      // build targets a version >= ours, so on success it releases
+      // them and on failure it reaches this same path with nothing
+      // left pending.
+      std::vector<std::uint64_t> doomed;
+      {
+        std::lock_guard<std::mutex> lock(version_mutex);
+        if (rebuild_target == target.version) {
+          rebuild_target = serving->snapshot.version;  // allow a retry
+        }
+        finish_pending_rebuild_locked();
+        if (pending_rebuilds == 0) {
+          doomed = take_parked_up_to(target.version);
+        }
+      }
+      version_cv.notify_all();
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        ++stats.rebuilds_failed;
+      }
+      if (auto p = pool.lock()) {
+        for (const std::uint64_t id : doomed) {
+          p->fail_parked(id, ErrorCode::kVersionUnavailable);
+        }
+      }
+      return;
+    }
+    const double build_seconds = seconds_since(start);
+    std::shared_ptr<const Serving> retired;
+    std::vector<std::uint64_t> ready;
+    {
+      std::lock_guard<std::mutex> lock(version_mutex);
+      finish_pending_rebuild_locked();
+      if (serving->snapshot.version >= target.version) {  // lost race
+        version_cv.notify_all();
+        return;
+      }
+      retired = serving;
+      serving = next;
+      ready = take_parked_up_to(target.version);
+    }
+    version_cv.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      ++stats.rebuilds_completed;
+      stats.rebuild_seconds_total += build_seconds;
+      stats.num_trees = next->hierarchy->approximator().num_trees();
+      stats.alpha = next->hierarchy->alpha();
+      // The retired snapshot's cache is dropped with it; fold its
+      // counters in so engine totals stay cumulative.
+      retired_cache_hits += retired->cache->hits();
+      retired_cache_misses += retired->cache->misses();
+    }
+    if (auto p = pool.lock()) {
+      for (const std::uint64_t id : ready) p->release(id);
+    }
   }
 
   // Per-query ShermanOptions for a non-default accuracy, mirroring the
@@ -131,7 +311,9 @@ struct FlowEngine::Core {
   // Seed for a terminal set's hierarchy build: a content hash of the
   // canonical sets mixed with the engine seed. Independent of epsilon,
   // submission order, and everything else in flight — the cornerstone of
-  // the cache's determinism contract.
+  // the cache's determinism contract. Deliberately also independent of
+  // the snapshot version: a fresh engine built directly on a mutated
+  // graph derives the same seeds, so post-swap results match it bitwise.
   [[nodiscard]] std::uint64_t terminal_seed(
       const std::vector<NodeId>& sources,
       const std::vector<NodeId>& sinks) const {
@@ -145,7 +327,7 @@ struct FlowEngine::Core {
   }
 
   [[nodiscard]] SuperTerminalHierarchy build_entry(
-      const std::vector<NodeId>& sources,
+      const Serving& serving_state, const std::vector<NodeId>& sources,
       const std::vector<NodeId>& sinks) const {
     ShermanOptions sherman = options.sherman;
     // Cache builds run on pool workers, possibly several keys at once;
@@ -153,15 +335,20 @@ struct FlowEngine::Core {
     // oversubscribing the machine.
     sherman.hierarchy.threads = 1;
     Rng rng(terminal_seed(sources, sinks));
-    return build_super_terminal_hierarchy(*graph, sources, sinks, sherman,
-                                          rng);
+    return build_super_terminal_hierarchy(*serving_state.snapshot.graph,
+                                          sources, sinks, sherman, rng,
+                                          serving_state.snapshot.version);
   }
 
   // --- typed execution (validation, dispatch, classification) ---
+  // Every exec runs against ONE Serving, grabbed by the caller at
+  // execution start: graph, hierarchy, and cache all belong to the same
+  // snapshot generation.
 
-  Result<MaxFlowApproxResult> exec(const MaxFlowQuery& q) {
+  Result<MaxFlowApproxResult> exec(const MaxFlowQuery& q,
+                                   const Serving& sv) {
     using R = Result<MaxFlowApproxResult>;
-    const Graph& g = *graph;
+    const Graph& g = *sv.snapshot.graph;
     if (!g.is_valid_node(q.s) || !g.is_valid_node(q.t)) {
       return R::failure(ErrorCode::kInvalidQuery,
                         "max-flow query: invalid terminal id");
@@ -180,11 +367,11 @@ struct FlowEngine::Core {
       out.solver = entry.name;
       if (entry.kind == SolverKind::kSherman) {
         if (q.epsilon > 0.0 && q.epsilon != options.sherman.epsilon) {
-          const ShermanSolver per_query(hierarchy,
+          const ShermanSolver per_query(sv.hierarchy,
                                         options_for_epsilon(q.epsilon));
           out.payload = per_query.max_flow(q.s, q.t);
         } else {
-          out.payload = solver.max_flow(q.s, q.t);
+          out.payload = sv.solver.max_flow(q.s, q.t);
         }
       } else {
         out.payload = exact_max_flow_adapter(entry.kind, g, q.s, q.t);
@@ -197,9 +384,9 @@ struct FlowEngine::Core {
     return out;
   }
 
-  Result<RouteResult> exec(const RouteQuery& q) {
+  Result<RouteResult> exec(const RouteQuery& q, const Serving& sv) {
     using R = Result<RouteResult>;
-    const Graph& g = *graph;
+    const Graph& g = *sv.snapshot.graph;
     if (q.demand.size() != static_cast<std::size_t>(g.num_nodes())) {
       return R::failure(ErrorCode::kInvalidQuery,
                         "route query: demand size does not match node count");
@@ -217,7 +404,7 @@ struct FlowEngine::Core {
     R out;
     out.solver = "sherman-route";
     try {
-      out.payload = solver.route(q.demand);
+      out.payload = sv.solver.route(q.demand);
     } catch (const std::exception& e) {
       out.code = classify_error(e);
       out.message = e.what();
@@ -226,9 +413,10 @@ struct FlowEngine::Core {
     return out;
   }
 
-  Result<MultiTerminalMaxFlowResult> exec(const MultiTerminalQuery& q) {
+  Result<MultiTerminalMaxFlowResult> exec(const MultiTerminalQuery& q,
+                                          const Serving& sv) {
     using R = Result<MultiTerminalMaxFlowResult>;
-    const Graph& g = *graph;
+    const Graph& g = *sv.snapshot.graph;
     if (q.sources.empty() || q.sinks.empty()) {
       return R::failure(ErrorCode::kInvalidQuery,
                         "multi-terminal query: empty terminal set");
@@ -285,14 +473,15 @@ struct FlowEngine::Core {
             multi_terminal_options_for_epsilon(epsilon);
         if (options.share_multi_terminal_hierarchies) {
           const std::shared_ptr<const SuperTerminalHierarchy> st =
-              cache.get_or_build(sources, sinks,
-                                 [this](const std::vector<NodeId>& srcs,
-                                        const std::vector<NodeId>& snks) {
-                                   return build_entry(srcs, snks);
-                                 });
+              sv.cache->get_or_build(
+                  sources, sinks,
+                  [this, &sv](const std::vector<NodeId>& srcs,
+                              const std::vector<NodeId>& snks) {
+                    return build_entry(sv, srcs, snks);
+                  });
           out.payload = solve_on_super_terminal_hierarchy(*st, per_query);
         } else {
-          const SuperTerminalHierarchy st = build_entry(sources, sinks);
+          const SuperTerminalHierarchy st = build_entry(sv, sources, sinks);
           out.payload = solve_on_super_terminal_hierarchy(st, per_query);
         }
       } else {
@@ -315,25 +504,26 @@ struct FlowEngine::Core {
   // --- stats ---
 
   template <typename T>
-  void absorb_common(const Result<T>& r) {
+  void absorb_common(const Result<T>& r, bool stale) {
     if (!r.ok()) {
       ++stats.queries_failed;
       return;
     }
     ++stats.queries_served;
+    if (stale) ++stats.queries_served_stale;
     stats.query_seconds_total += r.seconds;
     ++stats.queries_by_solver[r.solver];
   }
 
-  void absorb(const Result<MaxFlowApproxResult>& r) {
+  void absorb(const Result<MaxFlowApproxResult>& r, bool stale) {
     std::lock_guard<std::mutex> lock(stats_mutex);
-    absorb_common(r);
+    absorb_common(r, stale);
     if (r.ok()) stats.query_rounds_total += r.payload->rounds;
   }
 
-  void absorb(const Result<RouteResult>& r) {
+  void absorb(const Result<RouteResult>& r, bool stale) {
     std::lock_guard<std::mutex> lock(stats_mutex);
-    absorb_common(r);
+    absorb_common(r, stale);
     if (r.ok()) {
       stats.query_rounds_total += r.payload->rounds;
       stats.max_congestion =
@@ -341,9 +531,9 @@ struct FlowEngine::Core {
     }
   }
 
-  void absorb(const Result<MultiTerminalMaxFlowResult>& r) {
+  void absorb(const Result<MultiTerminalMaxFlowResult>& r, bool stale) {
     std::lock_guard<std::mutex> lock(stats_mutex);
-    absorb_common(r);
+    absorb_common(r, stale);
     if (r.ok()) stats.query_rounds_total += r.payload->rounds;
   }
 
@@ -352,23 +542,39 @@ struct FlowEngine::Core {
     ++stats.queries_cancelled;
   }
 
-  [[nodiscard]] EngineStats snapshot() const {
+  [[nodiscard]] EngineStats snapshot_stats() const {
+    std::shared_ptr<const Serving> s;
+    {
+      std::lock_guard<std::mutex> lock(version_mutex);
+      s = serving;
+    }
     EngineStats out;
     {
       std::lock_guard<std::mutex> lock(stats_mutex);
       out = stats;
+      out.hierarchy_cache_hits = retired_cache_hits;
+      out.hierarchy_cache_misses = retired_cache_misses;
     }
-    out.hierarchy_cache_hits = cache.hits();
-    out.hierarchy_cache_misses = cache.misses();
+    out.hierarchy_cache_hits += s->cache->hits();
+    out.hierarchy_cache_misses += s->cache->misses();
+    out.serving_version = s->snapshot.version;
+    out.latest_version = store->latest_version();
     return out;
   }
 };
 
 // --- FlowEngine --------------------------------------------------------------
 
+FlowEngine::FlowEngine(std::shared_ptr<GraphStore> store,
+                       EngineOptions options)
+    : core_(std::make_shared<Core>(std::move(store), std::move(options))),
+      pool_(std::make_shared<WorkerPool>(core_->options.threads)) {
+  core_->pool = pool_;
+}
+
 FlowEngine::FlowEngine(Graph graph, EngineOptions options)
-    : core_(std::make_shared<Core>(std::move(graph), std::move(options))),
-      pool_(std::make_shared<WorkerPool>(core_->options.threads)) {}
+    : FlowEngine(std::make_shared<GraphStore>(std::move(graph)),
+                 std::move(options)) {}
 
 FlowEngine::~FlowEngine() {
   if (pool_) pool_->shutdown();
@@ -399,16 +605,24 @@ Ticket<Payload> FlowEngine::submit_impl(
   // swallowed — the ticket still resolves with the computed result).
   auto run = [core, promise, done, query = std::move(query)] {
     const auto start = std::chrono::steady_clock::now();
+    // One consistent generation for the whole query: graph, hierarchy,
+    // and multi-terminal cache all come from this Serving, which the
+    // shared_ptr keeps alive even if a rebuild swaps it out mid-query.
+    const std::shared_ptr<const Core::Serving> serving =
+        core->current_serving();
     Result<Payload> result;
     try {
-      result = core->exec(query);
+      result = core->exec(query, *serving);
     } catch (...) {
       result = Result<Payload>::failure(ErrorCode::kInternalError,
                                         "non-standard exception escaped "
                                         "query execution");
     }
     result.seconds = seconds_since(start);
-    core->absorb(result);
+    result.served_version = serving->snapshot.version;
+    const bool stale =
+        serving->snapshot.version < core->store->latest_version();
+    core->absorb(result, stale);
     if (done) {
       try {
         done(result);
@@ -418,10 +632,13 @@ Ticket<Payload> FlowEngine::submit_impl(
     promise->set_value(std::move(result));
   };
   auto cancelled = [core, promise, done](ErrorCode code) {
-    Result<Payload> result = Result<Payload>::failure(
-        code, code == ErrorCode::kCancelled
-                  ? "cancelled before execution"
-                  : "engine shut down before execution");
+    const char* reason = "engine shut down before execution";
+    if (code == ErrorCode::kCancelled) {
+      reason = "cancelled before execution";
+    } else if (code == ErrorCode::kVersionUnavailable) {
+      reason = "required graph version never became servable";
+    }
+    Result<Payload> result = Result<Payload>::failure(code, reason);
     core->absorb_cancelled();
     if (done) {
       try {
@@ -431,8 +648,27 @@ Ticket<Payload> FlowEngine::submit_impl(
     }
     promise->set_value(std::move(result));
   };
-  const std::uint64_t id =
-      pool_->submit(opts.priority, std::move(run), std::move(cancelled));
+  std::uint64_t id = 0;
+  bool submitted = false;
+  if (opts.min_version > 0) {
+    // Park under the version lock: a swap flushing the parked list also
+    // holds it, so the query either sees a fresh-enough serving here or
+    // is registered before any future flush can run.
+    std::lock_guard<std::mutex> lock(core->version_mutex);
+    if (core->serving->snapshot.version < opts.min_version) {
+      id = pool_->submit_parked(opts.priority, std::move(run),
+                                std::move(cancelled));
+      core->parked.push_back({id, opts.min_version});
+      {
+        std::lock_guard<std::mutex> slock(core->stats_mutex);
+        ++core->stats.queries_parked;
+      }
+      submitted = true;
+    }
+  }
+  if (!submitted) {
+    id = pool_->submit(opts.priority, std::move(run), std::move(cancelled));
+  }
   return Ticket<Payload>(id, std::move(future), pool_);
 }
 
@@ -478,6 +714,89 @@ MultiTerminalTicket FlowEngine::submit(
 
 void FlowEngine::wait_all() { pool_->wait_all(); }
 
+// --- versioned mutation path -------------------------------------------------
+
+void FlowEngine::schedule_rebuild() {
+  auto core = core_;
+  {
+    std::lock_guard<std::mutex> lock(core->version_mutex);
+    ++core->pending_rebuilds;
+  }
+  try {
+    pool_->submit(
+        kRebuildPriority, [core] { core->run_rebuild(); },
+        [core](ErrorCode) {
+          // Engine shut down before the rebuild ran; the previous
+          // snapshot simply served to the end. Wake waiters so
+          // wait_for_version returns false instead of hanging.
+          {
+            std::lock_guard<std::mutex> lock(core->version_mutex);
+            core->finish_pending_rebuild_locked();
+          }
+          core->version_cv.notify_all();
+        });
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(core->version_mutex);
+      core->finish_pending_rebuild_locked();
+    }
+    core->version_cv.notify_all();
+    throw;
+  }
+}
+
+GraphVersion FlowEngine::apply(const MutationBatch& batch) {
+  const GraphSnapshot snap = core_->store->apply(batch);
+  schedule_rebuild();
+  return snap.version;
+}
+
+GraphVersion FlowEngine::refresh() {
+  const GraphVersion latest = core_->store->latest_version();
+  if (latest > serving_version()) schedule_rebuild();
+  return latest;
+}
+
+bool FlowEngine::wait_for_version(GraphVersion version,
+                                  double timeout_seconds) {
+  auto core = core_;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(std::max(0.0, timeout_seconds)));
+  std::unique_lock<std::mutex> lock(core->version_mutex);
+  for (;;) {
+    if (core->serving->snapshot.version >= version) return true;
+    // Nothing pending can reach `version` (the rebuild failed, was
+    // cancelled at shutdown, or was never scheduled): report that
+    // instead of sleeping forever — a later apply()/refresh() can make
+    // a fresh wait succeed.
+    if (core->pending_rebuilds == 0) return false;
+    if (timeout_seconds < 0.0) {
+      core->version_cv.wait(lock);
+    } else if (core->version_cv.wait_until(lock, deadline) ==
+               std::cv_status::timeout) {
+      return core->serving->snapshot.version >= version;
+    }
+  }
+}
+
+GraphVersion FlowEngine::serving_version() const {
+  return core_->current_serving()->snapshot.version;
+}
+
+GraphVersion FlowEngine::latest_version() const {
+  return core_->store->latest_version();
+}
+
+GraphSnapshot FlowEngine::snapshot() const {
+  return core_->current_serving()->snapshot;
+}
+
+const std::shared_ptr<GraphStore>& FlowEngine::store() const {
+  return core_->store;
+}
+
 // --- compatibility shims -----------------------------------------------------
 
 namespace {
@@ -489,6 +808,7 @@ void fill_outcome_common(QueryOutcome& outcome, const Result<T>& r) {
   outcome.error = r.message;
   outcome.solver = r.solver;
   outcome.seconds = r.seconds;
+  outcome.served_version = r.served_version;
 }
 
 QueryOutcome to_outcome(Result<MaxFlowApproxResult>&& r) {
@@ -541,16 +861,18 @@ QueryOutcome FlowEngine::run(const EngineQuery& query) {
 
 // --- accessors ---------------------------------------------------------------
 
-const Graph& FlowEngine::graph() const { return *core_->graph; }
+const Graph& FlowEngine::graph() const {
+  return *core_->current_serving()->snapshot.graph;
+}
 
 const ShermanHierarchy& FlowEngine::hierarchy() const {
-  return *core_->hierarchy;
+  return *core_->current_serving()->hierarchy;
 }
 
 const SolverRegistry& FlowEngine::registry() const { return core_->registry; }
 
 const EngineOptions& FlowEngine::options() const { return core_->options; }
 
-EngineStats FlowEngine::stats() const { return core_->snapshot(); }
+EngineStats FlowEngine::stats() const { return core_->snapshot_stats(); }
 
 }  // namespace dmf

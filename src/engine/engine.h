@@ -31,6 +31,21 @@
 // cannot be shared with the base graph's — those builds go through a
 // HierarchyCache keyed by the canonicalized terminal sets, so repeated
 // (or reordered) terminal sets share one build (see hierarchy_cache.h).
+//
+// v3: the graph is no longer frozen at construction. The engine serves
+// from a GraphStore of immutable versioned snapshots; apply(MutationBatch)
+// publishes the next snapshot copy-on-write and enqueues a background
+// hierarchy rebuild on the same worker pool. Until the rebuilt hierarchy
+// is atomically swapped in, in-flight and newly submitted queries keep
+// being served from the previous snapshot ("stale serving" — each Result
+// reports its served_version, and EngineStats counts rebuilds and stale
+// serves). SubmitOptions::min_version parks a query until a fresh-enough
+// hierarchy lands. One HierarchyCache lives per snapshot, so
+// multi-terminal entries never mix graph generations. Determinism holds
+// per version: a query's result depends only on the engine seed, the
+// snapshot that served it, and the query content — never on rebuild
+// timing, and a post-swap query matches a fresh engine built directly on
+// the mutated graph bitwise.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +61,7 @@
 #include "engine/result.h"
 #include "engine/session.h"
 #include "graph/graph.h"
+#include "graph/graph_store.h"
 #include "maxflow/multi_terminal.h"
 #include "maxflow/sherman.h"
 
@@ -91,6 +107,7 @@ struct QueryOutcome {
   std::string error;   // set when !ok
   std::string solver;  // registry entry (or "sherman-route") that served it
   double seconds = 0.0;
+  GraphVersion served_version = 0;  // snapshot the query was served from
   // Exactly one of these is populated, matching the query alternative.
   std::optional<MaxFlowApproxResult> max_flow;
   std::optional<RouteResult> route;
@@ -110,6 +127,25 @@ struct EngineStats {
   // (or waits on) a previous build of the same canonical terminal sets.
   std::int64_t hierarchy_cache_hits = 0;
   std::int64_t hierarchy_cache_misses = 0;
+  // --- versioned mutation path ---
+  GraphVersion serving_version = 0;  // snapshot the hierarchy serves
+  GraphVersion latest_version = 0;   // newest snapshot in the store
+  // A rebuild "starts" when a worker begins sampling a hierarchy for a
+  // newer snapshot and "completes" when that hierarchy is swapped in.
+  // Coalescing (several applies, one rebuild of the newest snapshot) and
+  // lost swap races make started >= completed; failed builds (e.g. a
+  // batch that disconnected the graph) are counted separately and leave
+  // the engine serving the previous snapshot.
+  std::int64_t rebuilds_started = 0;
+  std::int64_t rebuilds_completed = 0;
+  std::int64_t rebuilds_failed = 0;
+  double rebuild_seconds_total = 0.0;  // background build wall time
+  // Queries answered from a snapshot older than the store's latest (the
+  // price of not stalling during a rebuild).
+  std::int64_t queries_served_stale = 0;
+  // Queries parked by SubmitOptions::min_version until a fresh-enough
+  // hierarchy landed.
+  std::int64_t queries_parked = 0;
   double query_seconds_total = 0.0;
   // Sum of the per-reply round accounting (Sherman max-flow replies fold
   // the one-off build rounds in, matching ShermanSolver::max_flow).
@@ -161,8 +197,16 @@ struct EngineOptions {
 
 class FlowEngine {
  public:
-  // Builds the base hierarchy immediately (the expensive step) and starts
-  // the worker pool.
+  // Builds the hierarchy for the store's latest snapshot immediately
+  // (the expensive step) and starts the worker pool. The engine shares
+  // the store: apply() publishes new snapshots through it, and several
+  // engines may serve one store (each refreshes independently).
+  explicit FlowEngine(std::shared_ptr<GraphStore> store,
+                      EngineOptions options = {});
+
+  // Compatibility shim over a fresh single-snapshot store holding
+  // `graph` as version 0. Mutation works on this form too — the store
+  // is simply engine-private.
   explicit FlowEngine(Graph graph, EngineOptions options = {});
 
   // Destruction cancels everything still queued (those tickets resolve
@@ -205,8 +249,42 @@ class FlowEngine {
       std::function<void(const Result<MultiTerminalMaxFlowResult>&)> done,
       SubmitOptions opts = {});
 
-  // Block until every query submitted so far has resolved.
+  // Block until every query submitted so far has resolved. Queries
+  // parked by min_version count: if the version they wait for is never
+  // published (and the engine is not destroyed), this blocks.
   void wait_all();
+
+  // --- versioned mutation path ---
+  // Publish the batch as the next snapshot (copy-on-write; throws on an
+  // invalid op, publishing nothing) and enqueue a background hierarchy
+  // rebuild on the worker pool. Returns the new snapshot's version
+  // immediately — queries keep being served from the previous snapshot
+  // until the rebuilt hierarchy is swapped in atomically. Consecutive
+  // applies coalesce: a rebuild always targets the newest snapshot, so
+  // intermediate versions may never be served (min_version waiters are
+  // satisfied by any version >= theirs).
+  GraphVersion apply(const MutationBatch& batch);
+
+  // Enqueue a rebuild toward the store's latest snapshot without
+  // mutating (useful when another engine — or direct store access —
+  // published versions this engine has not picked up). No-op if the
+  // serving hierarchy is already current. Returns the store's latest
+  // version.
+  GraphVersion refresh();
+
+  // Block until the serving hierarchy reaches `version` (true). Returns
+  // false when that cannot currently happen — no rebuild is pending
+  // that could reach the version (it failed, was dropped at shutdown,
+  // or was never scheduled) — or when `timeout_seconds` elapses first
+  // (negative = no deadline). A later apply()/refresh() can make a
+  // fresh wait succeed after a false return.
+  bool wait_for_version(GraphVersion version, double timeout_seconds = -1.0);
+
+  [[nodiscard]] GraphVersion serving_version() const;
+  [[nodiscard]] GraphVersion latest_version() const;
+  // The snapshot queries are currently served from (graph + version).
+  [[nodiscard]] GraphSnapshot snapshot() const;
+  [[nodiscard]] const std::shared_ptr<GraphStore>& store() const;
 
   // --- synchronous compatibility shims over submit ---
   // Execute a batch; outcome[i] corresponds to queries[i].
@@ -214,7 +292,17 @@ class FlowEngine {
   // Single-query convenience; equivalent to a batch of one.
   QueryOutcome run(const EngineQuery& query);
 
+  // The currently served graph. The reference stays valid as long as
+  // the store retains the snapshot — for the engine's lifetime with the
+  // FlowEngine(Graph) shim (its private store keeps every snapshot),
+  // but potentially only until the next swap on a shared GraphStore
+  // constructed with a history_limit. After an apply() it refers to a
+  // superseded snapshot either way; take snapshot() for version-aware,
+  // lifetime-safe access.
   [[nodiscard]] const Graph& graph() const;
+  // The currently serving hierarchy. Unlike graph(), the reference is
+  // only guaranteed until the next rebuild swap retires it — do not
+  // hold it across apply()/refresh().
   [[nodiscard]] const ShermanHierarchy& hierarchy() const;
   [[nodiscard]] const SolverRegistry& registry() const;
   [[nodiscard]] const EngineOptions& options() const;
@@ -229,6 +317,8 @@ class FlowEngine {
   Ticket<Payload> submit_impl(
       Query query, std::function<void(const Result<Payload>&)> done,
       SubmitOptions opts);
+
+  void schedule_rebuild();
 
   std::shared_ptr<Core> core_;
   std::shared_ptr<WorkerPool> pool_;

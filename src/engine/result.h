@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 
+#include "graph/graph.h"
 #include "util/require.h"
 
 namespace dmf {
@@ -32,6 +33,10 @@ enum class ErrorCode {
   kCancelled,
   // The engine was destroyed (or shut down) with the query still queued.
   kShutdown,
+  // The query asked for SubmitOptions::min_version and the engine can
+  // no longer satisfy it: it shut down while the query was parked, or
+  // the hierarchy rebuild for that version failed.
+  kVersionUnavailable,
   // The solver detected a degenerate numerical situation (e.g. a
   // zero-congestion route) it cannot recover from.
   kNumericalFailure,
@@ -54,6 +59,8 @@ enum class ErrorCode {
       return "cancelled";
     case ErrorCode::kShutdown:
       return "shutdown";
+    case ErrorCode::kVersionUnavailable:
+      return "version_unavailable";
     case ErrorCode::kNumericalFailure:
       return "numerical_failure";
     case ErrorCode::kPreconditionFailed:
@@ -84,6 +91,10 @@ struct Result {
   std::string message;  // empty iff ok()
   std::string solver;   // registry entry (or "sherman-route") that served it
   double seconds = 0.0;  // execution wall time; queue wait excluded
+  // The graph snapshot version the query was served from. During a
+  // background rebuild this lags GraphStore::latest_version (stale
+  // serving); SubmitOptions::min_version lower-bounds it per query.
+  GraphVersion served_version = 0;
   std::optional<T> payload;  // engaged iff ok()
 
   [[nodiscard]] bool ok() const { return code == ErrorCode::kOk; }

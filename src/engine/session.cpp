@@ -54,21 +54,75 @@ WorkerPool::WorkerPool(int threads) {
 
 WorkerPool::~WorkerPool() { shutdown(); }
 
-std::uint64_t WorkerPool::submit(int priority, std::function<void()> run,
-                                 CancelFn cancelled) {
+std::uint64_t WorkerPool::enqueue(int priority, std::function<void()> run,
+                                  CancelFn cancelled, bool parked) {
   auto state = std::make_shared<TaskState>();
+  state->priority = priority;
   state->run = std::move(run);
   state->cancelled = std::move(cancelled);
+  if (parked) state->status.store(kParked);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     DMF_REQUIRE(!stopping_, "WorkerPool: submit after shutdown");
     state->id = next_id_++;
     by_id_.emplace(state->id, state);
-    queue_.push(QueueEntry{priority, state->id, state});
+    if (!parked) queue_.push(QueueEntry{priority, state->id, state});
     ++pending_;
   }
-  work_cv_.notify_one();
+  if (!parked) work_cv_.notify_one();
   return state->id;
+}
+
+std::uint64_t WorkerPool::submit(int priority, std::function<void()> run,
+                                 CancelFn cancelled) {
+  return enqueue(priority, std::move(run), std::move(cancelled),
+                 /*parked=*/false);
+}
+
+std::uint64_t WorkerPool::submit_parked(int priority,
+                                        std::function<void()> run,
+                                        CancelFn cancelled) {
+  return enqueue(priority, std::move(run), std::move(cancelled),
+                 /*parked=*/true);
+}
+
+bool WorkerPool::release(std::uint64_t id) {
+  // The whole transition happens under the pool lock so it can never
+  // interleave with shutdown(): either the task lands in the queue
+  // before the drain (and resolves kShutdown) or release observes
+  // stopping_ and leaves it parked for shutdown's kVersionUnavailable
+  // sweep.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_id_.find(id);
+    if (it == by_id_.end() || stopping_) return false;
+    const std::shared_ptr<TaskState>& state = it->second;
+    int expected = kParked;
+    if (!state->status.compare_exchange_strong(expected, kQueued)) {
+      return false;
+    }
+    queue_.push(QueueEntry{state->priority, state->id, state});
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+bool WorkerPool::fail_parked(std::uint64_t id, ErrorCode code) {
+  std::shared_ptr<TaskState> state;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_id_.find(id);
+    if (it == by_id_.end()) return false;
+    state = it->second;
+  }
+  int expected = kParked;
+  if (!state->status.compare_exchange_strong(expected, kCancelled)) {
+    return false;
+  }
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  state->cancelled(code);
+  finish_one(id);
+  return true;
 }
 
 bool WorkerPool::cancel(std::uint64_t id) {
@@ -81,7 +135,10 @@ bool WorkerPool::cancel(std::uint64_t id) {
   }
   int expected = kQueued;
   if (!state->status.compare_exchange_strong(expected, kCancelled)) {
-    return false;
+    expected = kParked;
+    if (!state->status.compare_exchange_strong(expected, kCancelled)) {
+      return false;
+    }
   }
   cancelled_.fetch_add(1, std::memory_order_relaxed);
   state->cancelled(ErrorCode::kCancelled);
@@ -96,6 +153,7 @@ void WorkerPool::wait_all() {
 
 void WorkerPool::shutdown() {
   std::vector<std::shared_ptr<TaskState>> to_cancel;
+  std::vector<std::shared_ptr<TaskState>> parked;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_ && workers_.empty()) return;
@@ -107,11 +165,23 @@ void WorkerPool::shutdown() {
       to_cancel.push_back(queue_.top().state);
       queue_.pop();
     }
+    // Parked tasks live only in by_id_; the versions they wait for will
+    // never be served now.
+    for (const auto& [id, state] : by_id_) {
+      if (state->status.load() == kParked) parked.push_back(state);
+    }
   }
   for (const auto& state : to_cancel) {
     int expected = kQueued;
     if (state->status.compare_exchange_strong(expected, kCancelled)) {
       state->cancelled(ErrorCode::kShutdown);
+      finish_one(state->id);
+    }
+  }
+  for (const auto& state : parked) {
+    int expected = kParked;
+    if (state->status.compare_exchange_strong(expected, kCancelled)) {
+      state->cancelled(ErrorCode::kVersionUnavailable);
       finish_one(state->id);
     }
   }

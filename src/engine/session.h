@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "engine/result.h"
+#include "graph/graph.h"
 
 namespace dmf {
 
@@ -36,6 +37,15 @@ namespace dmf {
 // values are popped first; ties execute in submission order.
 struct SubmitOptions {
   int priority = 0;
+  // Minimum graph snapshot version the query may be served from. 0 (the
+  // default) serves from whatever the engine currently holds — possibly
+  // a snapshot older than the store's latest while a background rebuild
+  // is in flight. A positive value parks the query until a hierarchy of
+  // at least that version is swapped in; if the engine shuts down first,
+  // or the rebuild for that version fails, the ticket resolves with
+  // ErrorCode::kVersionUnavailable. Neither setting ever changes what a
+  // query computes for a given snapshot — only which snapshot serves it.
+  GraphVersion min_version = 0;
 };
 
 // The engine-wide thread-count policy: a positive request is taken
@@ -60,16 +70,37 @@ class WorkerPool {
   std::uint64_t submit(int priority, std::function<void()> run,
                        CancelFn cancelled);
 
-  // Cancel a still-queued task: its CancelFn runs (with kCancelled) and
-  // true is returned. Returns false if the task already started,
-  // finished, was cancelled before, or the id is unknown.
+  // Enqueue a task in the *parked* state: it holds an id (cancellable,
+  // counted by wait_all) but no worker will pop it until release(id)
+  // moves it into the runnable queue. The engine parks queries whose
+  // SubmitOptions::min_version is ahead of the serving snapshot.
+  std::uint64_t submit_parked(int priority, std::function<void()> run,
+                              CancelFn cancelled);
+
+  // Move a parked task into the runnable queue at its submission
+  // priority. Returns false if the task is not parked anymore (released
+  // before, cancelled, unknown) or the pool is shutting down (shutdown
+  // resolves parked tasks itself).
+  bool release(std::uint64_t id);
+
+  // Resolve a still-parked task with `code` without ever running it
+  // (used when the version a parked query waits for can never be
+  // served). Returns false if the task is not parked anymore.
+  bool fail_parked(std::uint64_t id, ErrorCode code);
+
+  // Cancel a still-queued (or still-parked) task: its CancelFn runs
+  // (with kCancelled) and true is returned. Returns false if the task
+  // already started, finished, was cancelled before, or the id is
+  // unknown.
   bool cancel(std::uint64_t id);
 
   // Block until every task submitted so far has run or been cancelled.
   void wait_all();
 
-  // Cancel everything still queued (with kShutdown), then join the
-  // workers. Idempotent; called by the destructor.
+  // Cancel everything still queued (with kShutdown) and everything
+  // still parked (with kVersionUnavailable — the version they were
+  // waiting for will never arrive), then join the workers. Idempotent;
+  // called by the destructor.
   void shutdown();
 
   [[nodiscard]] int threads() const {
@@ -80,10 +111,17 @@ class WorkerPool {
   }
 
  private:
-  enum : int { kQueued = 0, kRunning = 1, kCancelled = 2, kDone = 3 };
+  enum : int {
+    kQueued = 0,
+    kRunning = 1,
+    kCancelled = 2,
+    kDone = 3,
+    kParked = 4
+  };
 
   struct TaskState {
     std::uint64_t id = 0;
+    int priority = 0;  // retained so release() re-queues at the same rank
     std::atomic<int> status{kQueued};
     std::function<void()> run;
     CancelFn cancelled;
@@ -101,6 +139,8 @@ class WorkerPool {
     }
   };
 
+  std::uint64_t enqueue(int priority, std::function<void()> run,
+                        CancelFn cancelled, bool parked);
   void worker_loop();
   void finish_one(std::uint64_t id);
 

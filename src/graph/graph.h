@@ -7,6 +7,7 @@
 // incrementally, so the graph can be built edge by edge.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -17,6 +18,11 @@ namespace dmf {
 
 using NodeId = std::int32_t;
 using EdgeId = std::int32_t;
+
+// Monotonically increasing snapshot version assigned by a GraphStore
+// (graph/graph_store.h). Version 0 is the initial snapshot; every
+// applied MutationBatch produces the next one.
+using GraphVersion = std::uint64_t;
 
 inline constexpr NodeId kInvalidNode = -1;
 inline constexpr EdgeId kInvalidEdge = -1;
@@ -50,7 +56,8 @@ class Graph {
   EdgeId add_edge(NodeId u, NodeId v, double capacity = 1.0) {
     DMF_REQUIRE(is_valid_node(u) && is_valid_node(v), "add_edge: bad node");
     DMF_REQUIRE(u != v, "add_edge: self-loops are not supported");
-    DMF_REQUIRE(capacity > 0.0, "add_edge: capacity must be positive");
+    DMF_REQUIRE(std::isfinite(capacity) && capacity > 0.0,
+                "add_edge: capacity must be positive and finite");
     const auto e = static_cast<EdgeId>(endpoints_.size());
     endpoints_.push_back({u, v});
     capacities_.push_back(capacity);
@@ -92,7 +99,8 @@ class Graph {
 
   void set_capacity(EdgeId e, double capacity) {
     DMF_REQUIRE(is_valid_edge(e), "set_capacity: bad edge");
-    DMF_REQUIRE(capacity > 0.0, "set_capacity: capacity must be positive");
+    DMF_REQUIRE(std::isfinite(capacity) && capacity > 0.0,
+                "set_capacity: capacity must be positive and finite");
     capacities_[static_cast<std::size_t>(e)] = capacity;
   }
 

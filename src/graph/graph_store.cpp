@@ -1,0 +1,79 @@
+#include "graph/graph_store.h"
+
+#include <string>
+#include <utility>
+
+namespace dmf {
+
+GraphStore::GraphStore(Graph initial, std::size_t history_limit)
+    : history_limit_(history_limit) {
+  history_.push_back(
+      GraphSnapshot{std::make_shared<const Graph>(std::move(initial)), 0});
+}
+
+GraphSnapshot GraphStore::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return history_.back();
+}
+
+GraphSnapshot GraphStore::snapshot(GraphVersion version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DMF_REQUIRE(version >= pruned_below_ &&
+                  version < pruned_below_ + history_.size(),
+              "GraphStore::snapshot: version " + std::to_string(version) +
+                  " not retained");
+  return history_[static_cast<std::size_t>(version - pruned_below_)];
+}
+
+GraphVersion GraphStore::latest_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return history_.back().version;
+}
+
+std::size_t GraphStore::num_retained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return history_.size();
+}
+
+GraphSnapshot GraphStore::apply(const MutationBatch& batch) {
+  // One writer at a time: the copy below must be of the snapshot the
+  // new version supersedes, or a concurrent apply would be silently
+  // lost. Readers are untouched — they only take mutex_, never this.
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  GraphSnapshot base;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    base = history_.back();
+  }
+  // Copy-on-write: mutate a private copy; any invalid op throws here
+  // and the store is left exactly as it was.
+  Graph next = *base.graph;
+  for (const MutationBatch::Op& op : batch.ops_) {
+    switch (op.kind) {
+      case MutationBatch::Op::Kind::kSetCapacity:
+        next.set_capacity(op.edge, op.capacity);
+        break;
+      case MutationBatch::Op::Kind::kAddEdge:
+        next.add_edge(op.u, op.v, op.capacity);
+        break;
+      case MutationBatch::Op::Kind::kAddNodes:
+        next.add_nodes(op.count);
+        break;
+    }
+  }
+  GraphSnapshot published{std::make_shared<const Graph>(std::move(next)),
+                          base.version + 1};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    history_.push_back(published);
+    if (history_limit_ > 0 && history_.size() > history_limit_) {
+      const std::size_t drop = history_.size() - history_limit_;
+      history_.erase(history_.begin(),
+                     history_.begin() + static_cast<std::ptrdiff_t>(drop));
+      pruned_below_ += drop;
+    }
+  }
+  return published;
+}
+
+}  // namespace dmf

@@ -1,0 +1,125 @@
+// Versioned graph snapshots with copy-on-write mutation.
+//
+// A GraphStore holds a sequence of immutable snapshots, each a
+// `shared_ptr<const Graph>` tagged with a monotonically increasing
+// GraphVersion. Readers take a snapshot and keep computing against it
+// for as long as they like; writers record a MutationBatch and apply()
+// it, which copies the latest graph, mutates the copy, and publishes it
+// as the next version — no reader is ever blocked by, or exposed to, a
+// half-applied mutation. This is the same pattern dataplane forwarding
+// tables use: expensive derived state (the FlowEngine's congestion
+// approximator) is rebuilt in the background per snapshot while traffic
+// keeps being served from the previous one.
+//
+// apply() is atomic: the batch is validated while mutating the private
+// copy, so a bad op (invalid id, non-finite capacity) throws and leaves
+// the store unchanged — no version is consumed. Applies are serialized
+// by a writer lock; snapshot() never waits on a writer's copy.
+//
+// Snapshots are retained (see history_limit) so `snapshot(version)` can
+// answer for past versions and references into old graphs stay valid
+// for the store's lifetime.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmf {
+
+// One immutable published state of the graph.
+struct GraphSnapshot {
+  std::shared_ptr<const Graph> graph;
+  GraphVersion version = 0;
+};
+
+// A recorded batch of mutations, applied atomically by
+// GraphStore::apply to produce the next snapshot. Recording validates
+// capacities immediately (finite and positive); node/edge ids are
+// validated at apply time against the graph the batch lands on, so ops
+// may reference nodes created earlier in the same batch.
+//
+// Id assignment is deterministic: applied to a snapshot with N nodes
+// and M edges, the batch's add_nodes calls create ids N, N+1, ... and
+// its add_edge calls create ids M, M+1, ... in recording order.
+class MutationBatch {
+ public:
+  MutationBatch& set_capacity(EdgeId edge, double capacity) {
+    DMF_REQUIRE(std::isfinite(capacity) && capacity > 0.0,
+                "MutationBatch::set_capacity: capacity must be positive "
+                "and finite");
+    ops_.push_back({Op::Kind::kSetCapacity, kInvalidNode, kInvalidNode, edge,
+                    capacity, 0});
+    return *this;
+  }
+
+  MutationBatch& add_edge(NodeId u, NodeId v, double capacity = 1.0) {
+    DMF_REQUIRE(std::isfinite(capacity) && capacity > 0.0,
+                "MutationBatch::add_edge: capacity must be positive "
+                "and finite");
+    ops_.push_back({Op::Kind::kAddEdge, u, v, kInvalidEdge, capacity, 0});
+    return *this;
+  }
+
+  MutationBatch& add_nodes(NodeId count = 1) {
+    DMF_REQUIRE(count > 0, "MutationBatch::add_nodes: count must be positive");
+    ops_.push_back(
+        {Op::Kind::kAddNodes, kInvalidNode, kInvalidNode, kInvalidEdge, 0.0,
+         count});
+    return *this;
+  }
+
+  [[nodiscard]] bool empty() const { return ops_.empty(); }
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+
+ private:
+  friend class GraphStore;
+  struct Op {
+    enum class Kind { kSetCapacity, kAddEdge, kAddNodes };
+    Kind kind;
+    NodeId u;
+    NodeId v;
+    EdgeId edge;
+    double capacity;
+    NodeId count;
+  };
+  std::vector<Op> ops_;
+};
+
+class GraphStore {
+ public:
+  // The initial graph becomes snapshot version 0. history_limit bounds
+  // how many snapshots the store retains (0 = keep all); the latest is
+  // never pruned, and holders of a pruned snapshot's shared_ptr keep it
+  // alive on their own.
+  explicit GraphStore(Graph initial, std::size_t history_limit = 0);
+
+  // The latest published snapshot.
+  [[nodiscard]] GraphSnapshot snapshot() const;
+
+  // A retained historical snapshot; throws if `version` was never
+  // published or has been pruned.
+  [[nodiscard]] GraphSnapshot snapshot(GraphVersion version) const;
+
+  [[nodiscard]] GraphVersion latest_version() const;
+  [[nodiscard]] std::size_t num_retained() const;
+
+  // Copy-on-write: copies the latest graph, applies every op of the
+  // batch to the copy (throwing — and publishing nothing — if any op is
+  // invalid), and publishes the result as the next version. Returns the
+  // new snapshot. An empty batch still publishes a (identical) new
+  // version, which callers can use as a barrier.
+  GraphSnapshot apply(const MutationBatch& batch);
+
+ private:
+  mutable std::mutex mutex_;    // guards history_
+  std::mutex writer_mutex_;     // serializes apply() end to end
+  GraphVersion pruned_below_ = 0;
+  std::vector<GraphSnapshot> history_;  // history_[i].version == pruned_below_ + i
+  const std::size_t history_limit_;
+};
+
+}  // namespace dmf

@@ -75,8 +75,8 @@ MultiTerminalMaxFlowResult project_super_terminal_flow(
 
 SuperTerminalHierarchy build_super_terminal_hierarchy(
     const Graph& g, const std::vector<NodeId>& sources,
-    const std::vector<NodeId>& sinks, const ShermanOptions& options,
-    Rng& rng) {
+    const std::vector<NodeId>& sinks, const ShermanOptions& options, Rng& rng,
+    GraphVersion base_version) {
   const std::vector<NodeId> srcs = canonical_terminals(sources);
   const std::vector<NodeId> snks = canonical_terminals(sinks);
   SuperTerminalGraph st = build_super_terminal_graph(g, srcs, snks);
@@ -85,8 +85,9 @@ SuperTerminalHierarchy build_super_terminal_hierarchy(
   out.super_source = st.super_source;
   out.super_sink = st.super_sink;
   out.base_edges = g.num_edges();
-  out.hierarchy =
-      std::make_shared<const ShermanHierarchy>(out.graph, options, rng);
+  out.base_version = base_version;
+  out.hierarchy = std::make_shared<const ShermanHierarchy>(out.graph, options,
+                                                           rng, base_version);
   return out;
 }
 

@@ -67,15 +67,23 @@ struct SuperTerminalHierarchy {
   NodeId super_source = kInvalidNode;
   NodeId super_sink = kInvalidNode;
   EdgeId base_edges = 0;  // projection prefix: the base graph's edge count
+  // Version of the BASE graph snapshot this instance was built from
+  // (propagated into the inner hierarchy's tag). The engine keys one
+  // HierarchyCache per snapshot, so entries of different graph
+  // generations can never be confused for one another.
+  GraphVersion base_version = 0;
   std::shared_ptr<const ShermanHierarchy> hierarchy;
 };
 
 // Build the augmented graph for the canonicalized terminal sets and
 // sample its hierarchy. `options.epsilon` does not influence the build,
-// so the result serves queries at any accuracy.
+// so the result serves queries at any accuracy. `base_version` tags the
+// base-graph snapshot (0 for callers without a GraphStore); it never
+// influences the sampled state.
 [[nodiscard]] SuperTerminalHierarchy build_super_terminal_hierarchy(
     const Graph& g, const std::vector<NodeId>& sources,
-    const std::vector<NodeId>& sinks, const ShermanOptions& options, Rng& rng);
+    const std::vector<NodeId>& sinks, const ShermanOptions& options, Rng& rng,
+    GraphVersion base_version = 0);
 
 // Solve one multi-terminal query on a prebuilt instance. Deterministic:
 // no RNG is consumed (the hierarchy already holds all sampled state).

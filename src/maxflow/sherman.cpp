@@ -13,14 +13,16 @@
 namespace dmf {
 
 ShermanHierarchy::ShermanHierarchy(const Graph& g,
-                                   const ShermanOptions& options, Rng& rng)
+                                   const ShermanOptions& options, Rng& rng,
+                                   GraphVersion graph_version)
     : ShermanHierarchy(std::shared_ptr<const Graph>(std::shared_ptr<void>(),
                                                     &g),
-                       options, rng) {}
+                       options, rng, graph_version) {}
 
 ShermanHierarchy::ShermanHierarchy(std::shared_ptr<const Graph> graph,
-                                   const ShermanOptions& options, Rng& rng)
-    : graph_(std::move(graph)) {
+                                   const ShermanOptions& options, Rng& rng,
+                                   GraphVersion graph_version)
+    : graph_(std::move(graph)), graph_version_(graph_version) {
   DMF_REQUIRE(graph_ != nullptr, "ShermanHierarchy: null graph");
   const Graph& g = *graph_;
   DMF_REQUIRE(g.num_nodes() >= 2, "ShermanHierarchy: need >= 2 nodes");

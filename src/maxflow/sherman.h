@@ -73,14 +73,22 @@ class ShermanHierarchy {
  public:
   // Owning form: the hierarchy keeps the graph alive, so anything holding
   // the hierarchy (engine, cache entry, ticket payload) is freely movable.
+  // graph_version tags which GraphStore snapshot the hierarchy was built
+  // from (0 for callers without a store): the FlowEngine uses it to keep
+  // queries and derived caches from ever mixing graph generations.
   ShermanHierarchy(std::shared_ptr<const Graph> graph,
-                   const ShermanOptions& options, Rng& rng);
+                   const ShermanOptions& options, Rng& rng,
+                   GraphVersion graph_version = 0);
 
   // Non-owning view for stack-local graphs; the caller guarantees the
   // graph outlives the hierarchy.
-  ShermanHierarchy(const Graph& g, const ShermanOptions& options, Rng& rng);
+  ShermanHierarchy(const Graph& g, const ShermanOptions& options, Rng& rng,
+                   GraphVersion graph_version = 0);
 
   [[nodiscard]] const Graph& graph() const { return *graph_; }
+  // The snapshot version this hierarchy answers for; a version tag only,
+  // it never influences the sampled state.
+  [[nodiscard]] GraphVersion graph_version() const { return graph_version_; }
   [[nodiscard]] const std::shared_ptr<const Graph>& shared_graph() const {
     return graph_;
   }
@@ -97,6 +105,7 @@ class ShermanHierarchy {
   RootedTree mwst_;  // max-weight spanning tree for residual rerouting
   double alpha_ = 2.0;
   double build_rounds_ = 0.0;
+  GraphVersion graph_version_ = 0;
 };
 
 // A solver bundles the sampled congestion approximator (expensive, built

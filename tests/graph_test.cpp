@@ -1,6 +1,8 @@
 // Unit tests for the core Graph structure and basic algorithms.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
@@ -50,6 +52,22 @@ TEST(Graph, RejectsNonPositiveCapacity) {
   Graph g(2);
   EXPECT_THROW(g.add_edge(0, 1, 0.0), RequirementError);
   EXPECT_THROW(g.add_edge(0, 1, -1.0), RequirementError);
+}
+
+// Regression: +inf used to pass the `capacity > 0` check and poison
+// every downstream total/congestion computation; NaN passed nothing
+// but produced NaN comparisons instead of an error.
+TEST(Graph, RejectsNonFiniteCapacity) {
+  Graph g(2);
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(g.add_edge(0, 1, inf), RequirementError);
+  EXPECT_THROW(g.add_edge(0, 1, nan), RequirementError);
+  const EdgeId e = g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(g.set_capacity(e, inf), RequirementError);
+  EXPECT_THROW(g.set_capacity(e, -inf), RequirementError);
+  EXPECT_THROW(g.set_capacity(e, nan), RequirementError);
+  EXPECT_DOUBLE_EQ(g.capacity(e), 1.0);  // failed sets left it untouched
 }
 
 TEST(Graph, RejectsBadNodes) {

@@ -69,6 +69,31 @@ TEST(DimacsIo, RejectsOutOfRangeIds) {
   EXPECT_THROW(read_dimacs(in), RequirementError);
 }
 
+// Regression: an overflowing capacity literal parses to +inf (or was
+// silently zeroed by stream extraction, dropping the arc); an explicit
+// "inf" used to pass Graph::add_edge's `> 0` check outright. The
+// loader now rejects all non-finite capacities.
+TEST(DimacsIo, RejectsNonFiniteCapacity) {
+  {
+    std::istringstream in(
+        "p max 3 1\n"
+        "a 1 2 1e400\n");
+    EXPECT_THROW(read_dimacs(in), RequirementError);
+  }
+  {
+    std::istringstream in(
+        "p max 3 1\n"
+        "a 1 2 inf\n");
+    EXPECT_THROW(read_dimacs(in), RequirementError);
+  }
+  {
+    std::istringstream in(
+        "p max 3 1\n"
+        "a 1 2 nan\n");
+    EXPECT_THROW(read_dimacs(in), RequirementError);
+  }
+}
+
 TEST(DimacsIo, RoundTripPreservesMaxFlow) {
   Rng rng(811);
   for (int trial = 0; trial < 5; ++trial) {

@@ -10,6 +10,7 @@
 #include <future>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "engine/engine.h"
@@ -157,6 +158,58 @@ TEST(WorkerPool, ShutdownFailsQueuedTasksWithShutdownCode) {
   }
   EXPECT_EQ(ran.load(), 1);
   EXPECT_EQ(shutdown_codes.load(), 3);
+}
+
+// --- parked tasks (the min_version machinery) --------------------------------
+
+TEST(WorkerPool, ParkedTaskRunsOnlyAfterRelease) {
+  WorkerPool pool(1);
+  std::atomic<int> ran{0};
+  const std::uint64_t id = pool.submit_parked(
+      0, [&] { ran.fetch_add(1); }, [](ErrorCode) {});
+  // An idle worker must not pick it up; an unrelated task drains fine
+  // around it.
+  std::atomic<int> other{0};
+  pool.submit(0, [&] { other.fetch_add(1); }, [](ErrorCode) {});
+  while (other.load() == 0) std::this_thread::yield();
+  EXPECT_EQ(ran.load(), 0);
+
+  EXPECT_TRUE(pool.release(id));
+  EXPECT_FALSE(pool.release(id));  // second release is a no-op
+  pool.wait_all();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(WorkerPool, ParkedTaskCancelAndFail) {
+  WorkerPool pool(1);
+  std::atomic<int> cancelled_code{-1};
+  const std::uint64_t doomed = pool.submit_parked(
+      0, [] {}, [&](ErrorCode code) { cancelled_code = static_cast<int>(code); });
+  EXPECT_TRUE(pool.cancel(doomed));
+  EXPECT_EQ(cancelled_code.load(), static_cast<int>(ErrorCode::kCancelled));
+  EXPECT_FALSE(pool.release(doomed));  // gone
+
+  std::atomic<int> failed_code{-1};
+  const std::uint64_t unlucky = pool.submit_parked(
+      0, [] {}, [&](ErrorCode code) { failed_code = static_cast<int>(code); });
+  EXPECT_TRUE(pool.fail_parked(unlucky, ErrorCode::kVersionUnavailable));
+  EXPECT_EQ(failed_code.load(),
+            static_cast<int>(ErrorCode::kVersionUnavailable));
+  EXPECT_FALSE(pool.fail_parked(unlucky, ErrorCode::kVersionUnavailable));
+  pool.wait_all();  // both resolved; wait_all does not hang on them
+}
+
+TEST(WorkerPool, ShutdownFailsParkedTasksWithVersionUnavailable) {
+  std::atomic<int> code{-1};
+  std::atomic<int> ran{0};
+  {
+    WorkerPool pool(1);
+    pool.submit_parked(
+        0, [&] { ran.fetch_add(1); },
+        [&](ErrorCode c) { code = static_cast<int>(c); });
+  }
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(code.load(), static_cast<int>(ErrorCode::kVersionUnavailable));
 }
 
 // --- engine-level async semantics -------------------------------------------
@@ -327,6 +380,106 @@ TEST(HierarchyCache, EvictsLeastRecentlyUsedAtCapacity) {
   (void)cache.get_or_build({1}, {28}, builder, &hit);  // B was evicted
   EXPECT_FALSE(hit);
   EXPECT_EQ(builds, 4);
+}
+
+TEST(HierarchyCache, CapacityZeroNeverEvicts) {
+  Rng rng(811);
+  const Graph g = make_gnp_connected(30, 0.2, {1, 5}, rng);
+  HierarchyCache cache(/*capacity=*/0);  // unbounded
+  int builds = 0;
+  const HierarchyCache::Builder builder =
+      [&](const std::vector<NodeId>& srcs, const std::vector<NodeId>& snks) {
+        ++builds;
+        ShermanOptions options;
+        options.num_trees = 2;
+        Rng build_rng(9);
+        return build_super_terminal_hierarchy(g, srcs, snks, options,
+                                              build_rng);
+      };
+  constexpr int kDistinct = 8;
+  for (int i = 0; i < kDistinct; ++i) {
+    (void)cache.get_or_build({static_cast<NodeId>(i)},
+                             {static_cast<NodeId>(29 - i)}, builder);
+  }
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kDistinct));
+  // Re-request everything, oldest first: with no eviction every one is
+  // a hit and no build repeats.
+  for (int i = 0; i < kDistinct; ++i) {
+    bool hit = false;
+    (void)cache.get_or_build({static_cast<NodeId>(i)},
+                             {static_cast<NodeId>(29 - i)}, builder, &hit);
+    EXPECT_TRUE(hit) << "set " << i;
+  }
+  EXPECT_EQ(builds, kDistinct);
+  EXPECT_EQ(cache.hits(), kDistinct);
+  EXPECT_EQ(cache.misses(), kDistinct);
+}
+
+TEST(HierarchyCache, CapacityOneThrashesButStaysCorrect) {
+  Rng rng(812);
+  const Graph g = make_gnp_connected(30, 0.2, {1, 5}, rng);
+  HierarchyCache cache(/*capacity=*/1);
+  int builds = 0;
+  const HierarchyCache::Builder builder =
+      [&](const std::vector<NodeId>& srcs, const std::vector<NodeId>& snks) {
+        ++builds;
+        ShermanOptions options;
+        options.num_trees = 2;
+        Rng build_rng(9);
+        return build_super_terminal_hierarchy(g, srcs, snks, options,
+                                              build_rng);
+      };
+  // Alternating keys with room for only one: every request after the
+  // first for a key re-pays the build (pure thrash)...
+  bool hit = true;
+  for (int round = 0; round < 3; ++round) {
+    (void)cache.get_or_build({0}, {29}, builder, &hit);
+    EXPECT_FALSE(hit);
+    (void)cache.get_or_build({1}, {28}, builder, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(cache.size(), 1u);  // never exceeds capacity
+  }
+  EXPECT_EQ(builds, 6);
+  EXPECT_EQ(cache.misses(), 6);
+  EXPECT_EQ(cache.hits(), 0);
+  // ...while back-to-back requests for the single resident key hit.
+  (void)cache.get_or_build({1}, {28}, builder, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(builds, 6);
+}
+
+// Hit/miss accounting across evictions: an evicted-and-rebuilt key is a
+// fresh miss, stats are monotone, and clear() resets them with the
+// entries.
+TEST(HierarchyCache, StatsAccountAcrossEvictions) {
+  Rng rng(813);
+  const Graph g = make_gnp_connected(30, 0.2, {1, 5}, rng);
+  HierarchyCache cache(/*capacity=*/2);
+  const HierarchyCache::Builder builder =
+      [&](const std::vector<NodeId>& srcs, const std::vector<NodeId>& snks) {
+        ShermanOptions options;
+        options.num_trees = 2;
+        Rng build_rng(9);
+        return build_super_terminal_hierarchy(g, srcs, snks, options,
+                                              build_rng);
+      };
+  (void)cache.get_or_build({0}, {29}, builder);  // miss: A
+  (void)cache.get_or_build({0}, {29}, builder);  // hit: A
+  (void)cache.get_or_build({1}, {28}, builder);  // miss: B
+  (void)cache.get_or_build({2}, {27}, builder);  // miss: C evicts A
+  EXPECT_EQ(cache.misses(), 3);
+  EXPECT_EQ(cache.hits(), 1);
+  (void)cache.get_or_build({0}, {29}, builder);  // miss again: A evicted
+  EXPECT_EQ(cache.misses(), 4);
+  EXPECT_EQ(cache.hits(), 1);
+  // The eviction itself never subtracts from either counter, and the
+  // live-entry count stays bounded.
+  EXPECT_EQ(cache.size(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 0);
 }
 
 TEST(HierarchyCache, FailedBuildIsRetriedNotCached) {
