@@ -36,7 +36,8 @@ int main() {
     const AlmostRouteResult result = almost_route(g, approx, b, options);
     std::string slope = "-";
     if (prev_iters > 0.0) {
-      slope = fmt(std::log(static_cast<double>(result.iterations) / prev_iters) /
+      slope = fmt(std::log(static_cast<double>(result.iterations) /
+                           prev_iters) /
                       std::log(prev_eps / eps),
                   2);
     }
@@ -58,7 +59,8 @@ int main() {
     const AlmostRouteResult result = almost_route(g, approx, b, options);
     std::string slope = "-";
     if (prev_iters > 0.0) {
-      slope = fmt(std::log(static_cast<double>(result.iterations) / prev_iters) /
+      slope = fmt(std::log(static_cast<double>(result.iterations) /
+                           prev_iters) /
                       std::log(alpha / prev_alpha),
                   2);
     }

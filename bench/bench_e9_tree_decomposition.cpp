@@ -25,7 +25,8 @@ int main() {
     shapes.push_back({"path", make_path(n, {1, 1}, rng)});
     shapes.push_back({"star", make_caterpillar(1, n - 1, {1, 1}, rng)});
     shapes.push_back({"caterpillar",
-                      make_caterpillar(static_cast<int>(n) / 8, 7, {1, 1}, rng)});
+                      make_caterpillar(static_cast<int>(n) / 8, 7, {1, 1},
+                                       rng)});
     shapes.push_back({"random", make_random_tree(n, {1, 1}, rng)});
     for (const Shape& shape : shapes) {
       const RootedTree tree = bfs_spanning_tree(shape.graph, 0);

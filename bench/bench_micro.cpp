@@ -8,6 +8,7 @@
 #include "capprox/approximator.h"
 #include "capprox/hierarchy.h"
 #include "graph/algorithms.h"
+#include "graph/csr_graph.h"
 #include "graph/flow.h"
 #include "graph/generators.h"
 #include "graph/tree.h"
@@ -20,8 +21,8 @@ using namespace dmf;
 
 Graph bench_graph(std::int64_t n) {
   Rng rng(static_cast<std::uint64_t>(n) * 2 + 1);
-  return make_gnp_connected(static_cast<NodeId>(n), 4.0 / static_cast<double>(n),
-                            {1, 10}, rng);
+  return make_gnp_connected(static_cast<NodeId>(n),
+                            4.0 / static_cast<double>(n), {1, 10}, rng);
 }
 
 void BM_BfsTree(benchmark::State& state) {
@@ -31,6 +32,54 @@ void BM_BfsTree(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BfsTree)->Arg(256)->Arg(1024)->Arg(4096);
+
+// The same BFS over the packed CSR rows — the layout every solver hot
+// loop now traverses. Identical output (CSR preserves adjacency order);
+// the delta against BM_BfsTree is pure representation.
+void BM_CsrBfsTree(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  const CsrGraph csr(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_bfs_tree(csr, 0).height);
+  }
+}
+BENCHMARK(BM_CsrBfsTree)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Publish-time cost of packing a snapshot's CSR view (what
+// GraphStore::apply pays on a structural batch).
+void BM_CsrBuild(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  for (auto _ : state) {
+    const CsrGraph csr(g);
+    benchmark::DoNotOptimize(csr.degree(0));
+  }
+}
+BENCHMARK(BM_CsrBuild)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Weighted-degree sweep: per-node capacity accumulation, adjacency
+// vectors vs CSR rows.
+void BM_AdjacencyWeightedSweep(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  for (auto _ : state) {
+    double total = 0.0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) total += g.weighted_degree(v);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_AdjacencyWeightedSweep)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_CsrWeightedSweep(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  const CsrGraph csr(g);
+  for (auto _ : state) {
+    double total = 0.0;
+    for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+      total += csr.weighted_degree(v);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_CsrWeightedSweep)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_TreeEdgeLoads(benchmark::State& state) {
   const Graph g = bench_graph(state.range(0));

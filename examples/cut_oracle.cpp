@@ -25,7 +25,8 @@ int main(int argc, char** argv) {
   using namespace dmf;
   const NodeId n = argc > 1 ? std::atoi(argv[1]) : 80;
   const int scenarios = argc > 2 ? std::atoi(argv[2]) : 8;
-  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 11;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 11;
 
   Rng rng(seed);
   const Graph g = make_tree_plus_chords(n, n / 2, {1, 12}, rng);

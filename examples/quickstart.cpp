@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
   using namespace dmf;
   const NodeId n = argc > 1 ? std::atoi(argv[1]) : 120;
   const double eps = argc > 2 ? std::atof(argv[2]) : 0.25;
-  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
 
   Rng rng(seed);
   const Graph g = make_gnp_connected(n, 3.0 / n, {1, 20}, rng);

@@ -7,7 +7,7 @@
 
 namespace dmf {
 
-MaxFlowApproxResult exact_max_flow_adapter(SolverKind kind, const Graph& g,
+MaxFlowApproxResult exact_max_flow_adapter(SolverKind kind, const CsrGraph& g,
                                            NodeId s, NodeId t) {
   DMF_REQUIRE(kind != SolverKind::kSherman,
               "exact_max_flow_adapter: not an exact baseline");
@@ -34,6 +34,12 @@ MaxFlowApproxResult exact_max_flow_adapter(SolverKind kind, const Graph& g,
                                 .diameter = build_bfs_tree(g, 0).height};
   out.rounds = 2.0 * cost.pipelined(static_cast<double>(g.num_edges()));
   return out;
+}
+
+MaxFlowApproxResult exact_max_flow_adapter(SolverKind kind, const Graph& g,
+                                           NodeId s, NodeId t) {
+  const CsrGraph csr(g);
+  return exact_max_flow_adapter(kind, csr, s, t);
 }
 
 }  // namespace dmf

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "engine/registry.h"
+#include "graph/csr_graph.h"
 #include "graph/graph.h"
 #include "maxflow/sherman.h"
 
@@ -17,6 +18,10 @@ namespace dmf {
 
 // Solve s-t max flow exactly with the requested baseline
 // (SolverKind::kSherman is rejected — the engine routes that itself).
+// The engine passes the snapshot's CSR view; the Graph overload packs a
+// transient one.
+MaxFlowApproxResult exact_max_flow_adapter(SolverKind kind, const CsrGraph& g,
+                                           NodeId s, NodeId t);
 MaxFlowApproxResult exact_max_flow_adapter(SolverKind kind, const Graph& g,
                                            NodeId s, NodeId t);
 

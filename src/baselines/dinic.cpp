@@ -3,6 +3,8 @@
 #include <limits>
 #include <queue>
 
+#include "baselines/residual_arcs.h"
+
 namespace dmf {
 
 namespace {
@@ -10,29 +12,22 @@ namespace {
 // Residual network for undirected graphs: each undirected edge e becomes
 // the arc pair (2e, 2e+1), mutual reverses, each with capacity cap(e) and
 // antisymmetric flow (flow[2e] == -flow[2e+1]). The net signed flow on the
-// undirected edge equals flow[2e].
+// undirected edge equals flow[2e]. Arc lists come flat from
+// build_flat_arcs (residual_arcs.h): identical traversal order to the
+// old per-node vectors, no per-node heap allocations, sequential target
+// reads during BFS/DFS.
 class Residual {
  public:
-  explicit Residual(const Graph& g) : graph_(g) {
+  explicit Residual(const CsrGraph& g) : graph_(g), arcs_(build_flat_arcs(g)) {
     const auto n = static_cast<std::size_t>(g.num_nodes());
     flow_.assign(2 * static_cast<std::size_t>(g.num_edges()), 0.0);
-    head_.resize(n);
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      const EdgeEndpoints ep = g.endpoints(e);
-      head_[static_cast<std::size_t>(ep.u)].push_back(2 * e);
-      head_[static_cast<std::size_t>(ep.v)].push_back(2 * e + 1);
-    }
     level_.assign(n, -1);
     iter_.assign(n, 0);
   }
 
-  [[nodiscard]] NodeId arc_target(EdgeId arc) const {
-    const EdgeEndpoints ep = graph_.endpoints(arc / 2);
-    return (arc % 2 == 0) ? ep.v : ep.u;
-  }
-
   [[nodiscard]] double residual_cap(EdgeId arc) const {
-    return graph_.capacity(arc / 2) - flow_[static_cast<std::size_t>(arc)];
+    return graph_.capacities_data()[static_cast<std::size_t>(arc / 2)] -
+           flow_[static_cast<std::size_t>(arc)];
   }
 
   void push(EdgeId arc, double amount) {
@@ -48,12 +43,13 @@ class Residual {
     while (!q.empty()) {
       const NodeId v = q.front();
       q.pop();
-      for (const EdgeId arc : head_[static_cast<std::size_t>(v)]) {
-        const NodeId to = arc_target(arc);
-        if (residual_cap(arc) > kEps &&
+      const auto vi = static_cast<std::size_t>(v);
+      for (std::size_t i = arcs_.offsets[vi]; i < arcs_.offsets[vi + 1];
+           ++i) {
+        const NodeId to = arcs_.targets[i];
+        if (residual_cap(arcs_.arcs[i]) > kEps &&
             level_[static_cast<std::size_t>(to)] < 0) {
-          level_[static_cast<std::size_t>(to)] =
-              level_[static_cast<std::size_t>(v)] + 1;
+          level_[static_cast<std::size_t>(to)] = level_[vi] + 1;
           q.push(to);
         }
       }
@@ -63,15 +59,13 @@ class Residual {
 
   double dfs(NodeId v, NodeId t, double limit) {
     if (v == t) return limit;
-    auto& it = iter_[static_cast<std::size_t>(v)];
-    for (; it < head_[static_cast<std::size_t>(v)].size(); ++it) {
-      const EdgeId arc = head_[static_cast<std::size_t>(v)][it];
-      const NodeId to = arc_target(arc);
+    const auto vi = static_cast<std::size_t>(v);
+    for (auto& it = iter_[vi]; it < arcs_.offsets[vi + 1]; ++it) {
+      const EdgeId arc = arcs_.arcs[it];
+      const NodeId to = arcs_.targets[it];
       if (residual_cap(arc) > kEps &&
-          level_[static_cast<std::size_t>(to)] ==
-              level_[static_cast<std::size_t>(v)] + 1) {
-        const double pushed =
-            dfs(to, t, std::min(limit, residual_cap(arc)));
+          level_[static_cast<std::size_t>(to)] == level_[vi] + 1) {
+        const double pushed = dfs(to, t, std::min(limit, residual_cap(arc)));
         if (pushed > kEps) {
           push(arc, pushed);
           return pushed;
@@ -84,7 +78,9 @@ class Residual {
   double run(NodeId s, NodeId t) {
     double total = 0.0;
     while (bfs(s, t)) {
-      std::fill(iter_.begin(), iter_.end(), 0);
+      for (std::size_t v = 0; v < iter_.size(); ++v) {
+        iter_[v] = arcs_.offsets[v];
+      }
       while (true) {
         const double pushed =
             dfs(s, t, std::numeric_limits<double>::infinity());
@@ -103,16 +99,19 @@ class Residual {
 
   // Nodes reachable from s in the residual graph (call after run()).
   [[nodiscard]] std::vector<char> residual_reachable(NodeId s) const {
-    std::vector<char> seen(head_.size(), 0);
+    std::vector<char> seen(level_.size(), 0);
     std::queue<NodeId> q;
     seen[static_cast<std::size_t>(s)] = 1;
     q.push(s);
     while (!q.empty()) {
       const NodeId v = q.front();
       q.pop();
-      for (const EdgeId arc : head_[static_cast<std::size_t>(v)]) {
-        const NodeId to = arc_target(arc);
-        if (residual_cap(arc) > kEps && !seen[static_cast<std::size_t>(to)]) {
+      const auto vi = static_cast<std::size_t>(v);
+      for (std::size_t i = arcs_.offsets[vi]; i < arcs_.offsets[vi + 1];
+           ++i) {
+        const NodeId to = arcs_.targets[i];
+        if (residual_cap(arcs_.arcs[i]) > kEps &&
+            !seen[static_cast<std::size_t>(to)]) {
           seen[static_cast<std::size_t>(to)] = 1;
           q.push(to);
         }
@@ -124,16 +123,16 @@ class Residual {
  private:
   static constexpr double kEps = 1e-12;
 
-  const Graph& graph_;
+  const CsrGraph& graph_;
+  FlatArcs arcs_;
   std::vector<double> flow_;
-  std::vector<std::vector<EdgeId>> head_;
   std::vector<int> level_;
   std::vector<std::size_t> iter_;
 };
 
 }  // namespace
 
-MaxFlowResult dinic_max_flow(const Graph& g, NodeId s, NodeId t) {
+MaxFlowResult dinic_max_flow(const CsrGraph& g, NodeId s, NodeId t) {
   DMF_REQUIRE(g.is_valid_node(s) && g.is_valid_node(t) && s != t,
               "dinic_max_flow: bad terminals");
   Residual residual(g);
@@ -143,11 +142,20 @@ MaxFlowResult dinic_max_flow(const Graph& g, NodeId s, NodeId t) {
   return result;
 }
 
+MaxFlowResult dinic_max_flow(const Graph& g, NodeId s, NodeId t) {
+  const CsrGraph csr(g);
+  return dinic_max_flow(csr, s, t);
+}
+
+double dinic_max_flow_value(const CsrGraph& g, NodeId s, NodeId t) {
+  return dinic_max_flow(g, s, t).value;
+}
+
 double dinic_max_flow_value(const Graph& g, NodeId s, NodeId t) {
   return dinic_max_flow(g, s, t).value;
 }
 
-MinCutResult dinic_min_cut(const Graph& g, NodeId s, NodeId t) {
+MinCutResult dinic_min_cut(const CsrGraph& g, NodeId s, NodeId t) {
   DMF_REQUIRE(g.is_valid_node(s) && g.is_valid_node(t) && s != t,
               "dinic_min_cut: bad terminals");
   Residual residual(g);
@@ -155,6 +163,11 @@ MinCutResult dinic_min_cut(const Graph& g, NodeId s, NodeId t) {
   result.capacity = residual.run(s, t);
   result.source_side = residual.residual_reachable(s);
   return result;
+}
+
+MinCutResult dinic_min_cut(const Graph& g, NodeId s, NodeId t) {
+  const CsrGraph csr(g);
+  return dinic_min_cut(csr, s, t);
 }
 
 }  // namespace dmf

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "graph/csr_graph.h"
 #include "graph/graph.h"
 
 namespace dmf {
@@ -20,10 +21,15 @@ struct MaxFlowResult {
 };
 
 // Exact max flow. An undirected edge of capacity c admits net flow at most
-// c in either direction (standard antisymmetric residual model).
+// c in either direction (standard antisymmetric residual model). The
+// residual network is laid out flat from the CSR rows; the Graph
+// overloads pack a transient view first, so both forms traverse arcs in
+// the same order and return identical flows.
+MaxFlowResult dinic_max_flow(const CsrGraph& g, NodeId s, NodeId t);
 MaxFlowResult dinic_max_flow(const Graph& g, NodeId s, NodeId t);
 
 // The value only (slightly cheaper; no flow extraction).
+double dinic_max_flow_value(const CsrGraph& g, NodeId s, NodeId t);
 double dinic_max_flow_value(const Graph& g, NodeId s, NodeId t);
 
 // Minimum s-t cut capacity and the source-side node set, from the final
@@ -33,6 +39,7 @@ struct MinCutResult {
   std::vector<char> source_side;  // 1 if node is on s's side
 };
 
+MinCutResult dinic_min_cut(const CsrGraph& g, NodeId s, NodeId t);
 MinCutResult dinic_min_cut(const Graph& g, NodeId s, NodeId t);
 
 }  // namespace dmf

@@ -3,33 +3,32 @@
 #include <algorithm>
 #include <queue>
 
+#include "baselines/residual_arcs.h"
+
 namespace dmf {
 
 namespace {
 constexpr double kEps = 1e-12;
 }  // namespace
 
-MaxFlowResult push_relabel_max_flow(const Graph& g, NodeId s, NodeId t) {
+MaxFlowResult push_relabel_max_flow(const CsrGraph& g, NodeId s, NodeId t) {
   DMF_REQUIRE(g.is_valid_node(s) && g.is_valid_node(t) && s != t,
               "push_relabel_max_flow: bad terminals");
   const auto n = static_cast<std::size_t>(g.num_nodes());
   const auto m = static_cast<std::size_t>(g.num_edges());
 
-  // Arc pair representation as in dinic.cpp: arcs 2e (u->v) and 2e+1
-  // (v->u), antisymmetric flow, residual(arc) = cap - flow.
+  // Arc pair representation shared with dinic.cpp via build_flat_arcs:
+  // arcs 2e (u->v) and 2e+1 (v->u), antisymmetric flow,
+  // residual(arc) = cap - flow.
   std::vector<double> flow(2 * m, 0.0);
-  std::vector<std::vector<EdgeId>> head(n);
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const EdgeEndpoints ep = g.endpoints(e);
-    head[static_cast<std::size_t>(ep.u)].push_back(2 * e);
-    head[static_cast<std::size_t>(ep.v)].push_back(2 * e + 1);
-  }
-  const auto target = [&](EdgeId arc) {
-    const EdgeEndpoints ep = g.endpoints(arc / 2);
-    return (arc % 2 == 0) ? ep.v : ep.u;
-  };
+  const FlatArcs flat = build_flat_arcs(g);
+  const std::size_t* offsets = flat.offsets;
+  const std::vector<EdgeId>& arcs = flat.arcs;
+  const NodeId* targets = flat.targets;
+  const double* cap = g.capacities_data();
   const auto rescap = [&](EdgeId arc) {
-    return g.capacity(arc / 2) - flow[static_cast<std::size_t>(arc)];
+    return cap[static_cast<std::size_t>(arc / 2)] -
+           flow[static_cast<std::size_t>(arc)];
   };
   const auto push_arc = [&](EdgeId arc, double amount) {
     flow[static_cast<std::size_t>(arc)] += amount;
@@ -38,7 +37,7 @@ MaxFlowResult push_relabel_max_flow(const Graph& g, NodeId s, NodeId t) {
 
   std::vector<double> excess(n, 0.0);
   std::vector<int> height(n, 0);
-  std::vector<std::size_t> current(n, 0);
+  std::vector<std::size_t> current(offsets, offsets + n);
   std::vector<int> height_count(2 * n + 1, 0);
   height[static_cast<std::size_t>(s)] = static_cast<int>(n);
   height_count[0] = static_cast<int>(n) - 1;
@@ -52,13 +51,15 @@ MaxFlowResult push_relabel_max_flow(const Graph& g, NodeId s, NodeId t) {
   };
 
   // Saturate all arcs out of s.
-  for (const EdgeId arc : head[static_cast<std::size_t>(s)]) {
+  const auto si = static_cast<std::size_t>(s);
+  for (std::size_t i = offsets[si]; i < offsets[si + 1]; ++i) {
+    const EdgeId arc = arcs[i];
     const double c = rescap(arc);
     if (c > kEps) {
       push_arc(arc, c);
-      excess[static_cast<std::size_t>(target(arc))] += c;
-      excess[static_cast<std::size_t>(s)] -= c;
-      activate(target(arc));
+      excess[static_cast<std::size_t>(targets[i])] += c;
+      excess[si] -= c;
+      activate(targets[i]);
     }
   }
 
@@ -67,21 +68,21 @@ MaxFlowResult push_relabel_max_flow(const Graph& g, NodeId s, NodeId t) {
     active.pop();
     const auto vi = static_cast<std::size_t>(v);
     while (excess[vi] > kEps) {
-      if (current[vi] == head[vi].size()) {
+      if (current[vi] == offsets[vi + 1]) {
         // Relabel (with gap heuristic).
         const int old_height = height[vi];
         int best = 2 * static_cast<int>(n);
-        for (const EdgeId arc : head[vi]) {
-          if (rescap(arc) > kEps) {
-            best = std::min(best,
-                            height[static_cast<std::size_t>(target(arc))] + 1);
+        for (std::size_t i = offsets[vi]; i < offsets[vi + 1]; ++i) {
+          if (rescap(arcs[i]) > kEps) {
+            best = std::min(
+                best, height[static_cast<std::size_t>(targets[i])] + 1);
           }
         }
         height_count[static_cast<std::size_t>(old_height)]--;
         height[vi] = best;
         height_count[static_cast<std::size_t>(std::min(
             best, 2 * static_cast<int>(n)))]++;
-        current[vi] = 0;
+        current[vi] = offsets[vi];
         if (height_count[static_cast<std::size_t>(old_height)] == 0 &&
             old_height < static_cast<int>(n)) {
           // Gap: lift everything above the gap over n.
@@ -97,8 +98,8 @@ MaxFlowResult push_relabel_max_flow(const Graph& g, NodeId s, NodeId t) {
         if (height[vi] >= 2 * static_cast<int>(n)) break;
         continue;
       }
-      const EdgeId arc = head[vi][current[vi]];
-      const NodeId to = target(arc);
+      const EdgeId arc = arcs[current[vi]];
+      const NodeId to = targets[current[vi]];
       if (rescap(arc) > kEps &&
           height[vi] == height[static_cast<std::size_t>(to)] + 1) {
         const double amount = std::min(excess[vi], rescap(arc));
@@ -120,6 +121,11 @@ MaxFlowResult push_relabel_max_flow(const Graph& g, NodeId s, NodeId t) {
   for (std::size_t e = 0; e < m; ++e) result.edge_flow[e] = flow[2 * e];
   result.value = excess[static_cast<std::size_t>(t)];
   return result;
+}
+
+MaxFlowResult push_relabel_max_flow(const Graph& g, NodeId s, NodeId t) {
+  const CsrGraph csr(g);
+  return push_relabel_max_flow(csr, s, t);
 }
 
 }  // namespace dmf

@@ -7,10 +7,14 @@
 #pragma once
 
 #include "baselines/dinic.h"
+#include "graph/csr_graph.h"
 #include "graph/graph.h"
 
 namespace dmf {
 
+// Arc lists are flattened from the CSR rows exactly as in dinic.cpp;
+// the Graph overload packs a transient view and delegates.
+MaxFlowResult push_relabel_max_flow(const CsrGraph& g, NodeId s, NodeId t);
 MaxFlowResult push_relabel_max_flow(const Graph& g, NodeId s, NodeId t);
 
 }  // namespace dmf

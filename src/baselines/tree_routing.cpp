@@ -47,20 +47,35 @@ RootedTree max_weight_spanning_tree(const Graph& g, NodeId root) {
     return g.capacity(a) > g.capacity(b);
   });
   UnionFind uf(n);
-  // Adjacency restricted to chosen tree edges.
-  std::vector<std::vector<AdjEntry>> tree_adj(n);
-  std::size_t chosen = 0;
+  std::vector<EdgeId> tree_edges;
+  tree_edges.reserve(n > 0 ? n - 1 : 0);
   for (const EdgeId e : order) {
     const EdgeEndpoints ep = g.endpoints(e);
     if (uf.unite(static_cast<std::size_t>(ep.u),
                  static_cast<std::size_t>(ep.v))) {
-      tree_adj[static_cast<std::size_t>(ep.u)].push_back({ep.v, e});
-      tree_adj[static_cast<std::size_t>(ep.v)].push_back({ep.u, e});
-      if (++chosen == n - 1) break;
+      tree_edges.push_back(e);
+      if (tree_edges.size() == n - 1) break;
     }
   }
-  DMF_REQUIRE(chosen == n - 1 || n <= 1,
+  DMF_REQUIRE(tree_edges.size() == n - 1 || n <= 1,
               "max_weight_spanning_tree: graph is disconnected");
+
+  // Flat CSR adjacency over the chosen edges (selection order per node,
+  // matching the order the old per-node vectors were appended in).
+  std::vector<std::size_t> offsets(n + 1, 0);
+  for (const EdgeId e : tree_edges) {
+    const EdgeEndpoints ep = g.endpoints(e);
+    ++offsets[static_cast<std::size_t>(ep.u) + 1];
+    ++offsets[static_cast<std::size_t>(ep.v) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<AdjEntry> flat(2 * tree_edges.size());
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const EdgeId e : tree_edges) {
+    const EdgeEndpoints ep = g.endpoints(e);
+    flat[cursor[static_cast<std::size_t>(ep.u)]++] = {ep.v, e};
+    flat[cursor[static_cast<std::size_t>(ep.v)]++] = {ep.u, e};
+  }
 
   RootedTree tree;
   tree.root = root;
@@ -74,7 +89,9 @@ RootedTree max_weight_spanning_tree(const Graph& g, NodeId root) {
   while (!stack.empty()) {
     const NodeId v = stack.back();
     stack.pop_back();
-    for (const AdjEntry& a : tree_adj[static_cast<std::size_t>(v)]) {
+    const auto vi = static_cast<std::size_t>(v);
+    for (std::size_t i = offsets[vi]; i < offsets[vi + 1]; ++i) {
+      const AdjEntry a = flat[i];
       if (!seen[static_cast<std::size_t>(a.to)]) {
         seen[static_cast<std::size_t>(a.to)] = 1;
         tree.parent[static_cast<std::size_t>(a.to)] = v;
@@ -87,8 +104,12 @@ RootedTree max_weight_spanning_tree(const Graph& g, NodeId root) {
   return tree;
 }
 
-std::vector<double> route_demand_on_spanning_tree(
-    const Graph& g, const RootedTree& tree, const std::vector<double>& b) {
+namespace {
+
+// Shared body: GraphT is Graph or CsrGraph (identical endpoint data).
+template <typename GraphT>
+std::vector<double> route_demand_on_spanning_tree_impl(
+    const GraphT& g, const RootedTree& tree, const std::vector<double>& b) {
   DMF_REQUIRE(b.size() == static_cast<std::size_t>(g.num_nodes()),
               "route_demand_on_spanning_tree: demand size mismatch");
   const double total = std::accumulate(b.begin(), b.end(), 0.0);
@@ -105,6 +126,18 @@ std::vector<double> route_demand_on_spanning_tree(
     flow[static_cast<std::size_t>(e)] += (ep.u == v) ? f : -f;
   }
   return flow;
+}
+
+}  // namespace
+
+std::vector<double> route_demand_on_spanning_tree(
+    const Graph& g, const RootedTree& tree, const std::vector<double>& b) {
+  return route_demand_on_spanning_tree_impl(g, tree, b);
+}
+
+std::vector<double> route_demand_on_spanning_tree(
+    const CsrGraph& g, const RootedTree& tree, const std::vector<double>& b) {
+  return route_demand_on_spanning_tree_impl(g, tree, b);
 }
 
 }  // namespace dmf

@@ -112,6 +112,63 @@ std::vector<double> CongestionApproximator::potentials(
   return pi;
 }
 
+void CongestionApproximator::apply_into(
+    const std::vector<double>& b, double scale, std::vector<double>& y_flat,
+    std::vector<double>& sums_workspace) const {
+  DMF_REQUIRE(b.size() == static_cast<std::size_t>(n_),
+              "apply_into: demand size mismatch");
+  const auto nn = static_cast<std::size_t>(n_);
+  // No bulk zeroing: the tree pass writes every non-root entry and the
+  // root entry is pinned to 0 explicitly, so a resize (first call only)
+  // suffices. Safe because every tree is spanning — the constructor ran
+  // tree_order() on each, which DMF_REQUIREs exactly one parentless
+  // node (the root) and a top-down order covering all n nodes.
+  y_flat.resize(trees_.size() * nn);
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    sums_workspace = b;
+    double* sums = sums_workspace.data();
+    double* y = y_flat.data() + t * nn;
+    const double* inv = inv_cap_[t].data();
+    const auto& order = orders_[t].topdown;
+    const NodeId* parent = trees_[t].parent.data();
+    y[static_cast<std::size_t>(trees_[t].root)] = 0.0;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const auto v = static_cast<std::size_t>(*it);
+      const NodeId p = parent[v];
+      if (p != kInvalidNode) {
+        sums[static_cast<std::size_t>(p)] += sums[v];
+        y[v] = scale * sums[v] * inv[v];
+      }
+    }
+  }
+}
+
+void CongestionApproximator::potentials_into(
+    const std::vector<double>& price_flat, std::vector<double>& pi,
+    std::vector<double>& acc_workspace) const {
+  const auto nn = static_cast<std::size_t>(n_);
+  DMF_REQUIRE(price_flat.size() == trees_.size() * nn,
+              "potentials_into: price size mismatch");
+  pi.assign(nn, 0.0);
+  acc_workspace.resize(nn);
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    double* acc = acc_workspace.data();
+    const double* price = price_flat.data() + t * nn;
+    const NodeId* parent = trees_[t].parent.data();
+    // The top-down order writes every node exactly once (parents before
+    // children); only the root needs pinning, so no bulk zeroing.
+    acc[static_cast<std::size_t>(trees_[t].root)] = 0.0;
+    for (const NodeId v : orders_[t].topdown) {
+      const auto vi = static_cast<std::size_t>(v);
+      const NodeId p = parent[vi];
+      if (p != kInvalidNode) {
+        acc[vi] = acc[static_cast<std::size_t>(p)] + price[vi];
+      }
+    }
+    for (std::size_t v = 0; v < nn; ++v) pi[v] += acc[v];
+  }
+}
+
 double CongestionApproximator::rounds_per_application(int diameter) const {
   const double sqrt_n = std::sqrt(static_cast<double>(n_));
   const double log_n = std::log2(static_cast<double>(std::max<NodeId>(2, n_)));
@@ -126,13 +183,14 @@ AlphaEstimate estimate_alpha(const Graph& g,
               "estimate_alpha: size mismatch");
   DMF_REQUIRE(g.num_nodes() >= 2, "estimate_alpha: need >= 2 nodes");
   AlphaEstimate est;
+  const CsrGraph csr(g);  // one pack shared by all Dinic probes
   for (int i = 0; i < samples; ++i) {
     const auto s = static_cast<NodeId>(
         rng.next_below(static_cast<std::uint64_t>(g.num_nodes())));
     auto t = static_cast<NodeId>(
         rng.next_below(static_cast<std::uint64_t>(g.num_nodes())));
     if (t == s) t = (t + 1) % g.num_nodes();
-    const double maxflow = dinic_max_flow_value(g, s, t);
+    const double maxflow = dinic_max_flow_value(csr, s, t);
     if (maxflow <= 0.0) continue;
     const double opt = 1.0 / maxflow;  // optimal congestion of unit demand
     const double norm =

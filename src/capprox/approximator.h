@@ -32,7 +32,9 @@ class CongestionApproximator {
   [[nodiscard]] static CongestionApproximator from_samples(
       std::vector<VirtualTreeSample> samples);
 
-  [[nodiscard]] int num_trees() const { return static_cast<int>(trees_.size()); }
+  [[nodiscard]] int num_trees() const {
+    return static_cast<int>(trees_.size());
+  }
   [[nodiscard]] NodeId num_nodes() const { return n_; }
   [[nodiscard]] const RootedTree& tree(int t) const {
     return trees_[static_cast<std::size_t>(t)];
@@ -50,6 +52,18 @@ class CongestionApproximator {
   // (w -> parent) on v's root path.
   [[nodiscard]] std::vector<double> potentials(
       const std::vector<std::vector<double>>& link_price) const;
+
+  // Allocation-free variants for the gradient-descent inner loop: the
+  // per-tree vectors are flattened into one num_trees*n array indexed
+  // [t*n + v], and every output/workspace buffer is caller-owned so an
+  // iteration reuses its allocations. Arithmetic and accumulation order
+  // match apply()/potentials() exactly — results are bitwise identical.
+  void apply_into(const std::vector<double>& b, double scale,
+                  std::vector<double>& y_flat,
+                  std::vector<double>& sums_workspace) const;
+  void potentials_into(const std::vector<double>& price_flat,
+                       std::vector<double>& pi,
+                       std::vector<double>& acc_workspace) const;
 
   // CONGEST rounds for one apply or potentials call: one Õ(sqrt n + D)
   // convergecast/downcast per tree (Corollary 9.3).

@@ -26,7 +26,10 @@ VirtualTreeSample sample_virtual_tree(const Graph& g,
   const NodeId n = g.num_nodes();
   const auto nn = static_cast<std::size_t>(n);
   DMF_REQUIRE(n >= 1, "sample_virtual_tree: empty graph");
-  DMF_REQUIRE(is_connected(g), "sample_virtual_tree: graph must be connected");
+  // Transient flat view for the two base-graph traversals below.
+  const CsrGraph csr(g);
+  DMF_REQUIRE(is_connected(csr),
+              "sample_virtual_tree: graph must be connected");
   DMF_REQUIRE(options.beta >= 2.0, "sample_virtual_tree: beta must be >= 2");
 
   VirtualTreeSample out;
@@ -47,7 +50,7 @@ VirtualTreeSample sample_virtual_tree(const Graph& g,
   // Measured diameter bound for the round accounting.
   const congest::CostModel cost{
       .n = static_cast<int>(n),
-      .diameter = n > 0 ? build_bfs_tree(g, 0).height : 0};
+      .diameter = n > 0 ? build_bfs_tree(csr, 0).height : 0};
   const double log_n = cost.log_n();
 
   // Level state.
@@ -93,8 +96,9 @@ VirtualTreeSample sample_virtual_tree(const Graph& g,
     }
 
     // --- (2) Build the per-level j-tree distribution via MWU. ---
-    const int j = std::max(
-        1, static_cast<int>(static_cast<double>(level_n) / (4.0 * options.beta)));
+    const int j =
+        std::max(1, static_cast<int>(static_cast<double>(level_n) /
+                                     (4.0 * options.beta)));
     JTreeOptions jopt;
     jopt.j = j;
     jopt.sqrt_target = local ? 0.0 : sqrt_n;
@@ -251,8 +255,9 @@ VirtualTreeSample sample_virtual_tree(const Graph& g,
 std::vector<VirtualTreeSample> sample_virtual_trees(
     const Graph& g, int count, const HierarchyOptions& options, Rng& rng) {
   if (count <= 0) {
-    count = static_cast<int>(std::ceil(
-        2.0 * std::log2(static_cast<double>(std::max<NodeId>(2, g.num_nodes())))));
+    count = static_cast<int>(
+        std::ceil(2.0 * std::log2(static_cast<double>(
+                            std::max<NodeId>(2, g.num_nodes())))));
   }
   // Derive one independent RNG stream per tree from the caller's
   // generator BEFORE any sampling happens. The samples are then a pure

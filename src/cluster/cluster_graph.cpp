@@ -66,7 +66,8 @@ void ClusterGraph::validate() const {
   }
   // (IV) psi maps cluster edges to real edges between those clusters.
   for (const MultiEdge& e : edges.edges()) {
-    DMF_REQUIRE(e.u >= 0 && e.u < count && e.v >= 0 && e.v < count && e.u != e.v,
+    DMF_REQUIRE(e.u >= 0 && e.u < count && e.v >= 0 && e.v < count &&
+                    e.u != e.v,
                 "ClusterGraph: bad cluster edge");
     DMF_REQUIRE(base->is_valid_edge(e.base_edge),
                 "ClusterGraph: psi maps to a non-edge");

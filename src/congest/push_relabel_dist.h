@@ -107,7 +107,8 @@ class PushRelabelProgram {
           const double residual = ctx.edge_capacity(p) - flow_[p];
           if (residual <= kEps) continue;
           if (neighbor_height_[p] + 1 == height_) admissible = true;
-          best = best < neighbor_height_[p] + 1 ? best : neighbor_height_[p] + 1;
+          best =
+              best < neighbor_height_[p] + 1 ? best : neighbor_height_[p] + 1;
         }
         if (!admissible && best < (1 << 29)) {
           height_ = best;

@@ -156,8 +156,10 @@ struct FlowEngine::Core {
   [[nodiscard]] std::shared_ptr<const Serving> build_serving(
       const GraphSnapshot& snap) const {
     Rng rng(options.seed);
+    // The hierarchy rides the snapshot's packed CSR view (built once at
+    // publish time); every query traversal of this generation shares it.
     auto hierarchy = std::make_shared<const ShermanHierarchy>(
-        snap.graph, build_sherman, rng, snap.version);
+        snap.graph, build_sherman, rng, snap.version, snap.csr);
     return std::make_shared<const Serving>(snap, std::move(hierarchy),
                                            options.sherman,
                                            options.hierarchy_cache_capacity);
@@ -374,7 +376,8 @@ struct FlowEngine::Core {
           out.payload = sv.solver.max_flow(q.s, q.t);
         }
       } else {
-        out.payload = exact_max_flow_adapter(entry.kind, g, q.s, q.t);
+        out.payload =
+            exact_max_flow_adapter(entry.kind, *sv.snapshot.csr, q.s, q.t);
       }
     } catch (const std::exception& e) {
       out.code = classify_error(e);
@@ -448,7 +451,7 @@ struct FlowEngine::Core {
     }
     for (const std::vector<NodeId>* set : {&sources, &sinks}) {
       for (const NodeId v : *set) {
-        if (g.weighted_degree(v) <= 0.0) {
+        if (sv.snapshot.csr->weighted_degree(v) <= 0.0) {
           return R::failure(ErrorCode::kIsolatedTerminal,
                             "multi-terminal query: terminal " +
                                 std::to_string(v) +

@@ -5,7 +5,28 @@
 
 namespace dmf {
 
-std::vector<int> bfs_distances(const Graph& g, NodeId src) {
+namespace {
+
+// Uniform (to, edge) access over the two row types.
+inline NodeId neighbor_to(const std::vector<AdjEntry>& row, std::size_t i) {
+  return row[i].to;
+}
+inline NodeId neighbor_to(const CsrRow& row, std::size_t i) {
+  return row.to(i);
+}
+inline EdgeId neighbor_edge(const std::vector<AdjEntry>& row, std::size_t i) {
+  return row[i].edge;
+}
+inline EdgeId neighbor_edge(const CsrRow& row, std::size_t i) {
+  return row.edge(i);
+}
+
+// Shared BFS bodies: GraphT is Graph or CsrGraph. The neighbor
+// enumeration differs (ragged vectors vs CSR rows) but the visit order
+// is identical, so both instantiations produce the same result.
+
+template <typename GraphT>
+std::vector<int> bfs_distances_impl(const GraphT& g, NodeId src) {
   DMF_REQUIRE(g.is_valid_node(src), "bfs_distances: bad source");
   std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), kUnreached);
   std::queue<NodeId> frontier;
@@ -14,18 +35,21 @@ std::vector<int> bfs_distances(const Graph& g, NodeId src) {
   while (!frontier.empty()) {
     const NodeId v = frontier.front();
     frontier.pop();
-    for (const AdjEntry& a : g.neighbors(v)) {
-      if (dist[static_cast<std::size_t>(a.to)] == kUnreached) {
-        dist[static_cast<std::size_t>(a.to)] =
+    const auto& row = g.neighbors(v);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const NodeId to = neighbor_to(row, i);
+      if (dist[static_cast<std::size_t>(to)] == kUnreached) {
+        dist[static_cast<std::size_t>(to)] =
             dist[static_cast<std::size_t>(v)] + 1;
-        frontier.push(a.to);
+        frontier.push(to);
       }
     }
   }
   return dist;
 }
 
-BfsTree build_bfs_tree(const Graph& g, NodeId root) {
+template <typename GraphT>
+BfsTree build_bfs_tree_impl(const GraphT& g, NodeId root) {
   DMF_REQUIRE(g.is_valid_node(root), "build_bfs_tree: bad root");
   const auto n = static_cast<std::size_t>(g.num_nodes());
   BfsTree tree;
@@ -39,18 +63,40 @@ BfsTree build_bfs_tree(const Graph& g, NodeId root) {
   while (!frontier.empty()) {
     const NodeId v = frontier.front();
     frontier.pop();
-    tree.height = std::max(tree.height, tree.depth[static_cast<std::size_t>(v)]);
-    for (const AdjEntry& a : g.neighbors(v)) {
-      if (tree.depth[static_cast<std::size_t>(a.to)] == kUnreached) {
-        tree.depth[static_cast<std::size_t>(a.to)] =
+    tree.height =
+        std::max(tree.height, tree.depth[static_cast<std::size_t>(v)]);
+    const auto& row = g.neighbors(v);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const NodeId to = neighbor_to(row, i);
+      if (tree.depth[static_cast<std::size_t>(to)] == kUnreached) {
+        tree.depth[static_cast<std::size_t>(to)] =
             tree.depth[static_cast<std::size_t>(v)] + 1;
-        tree.parent[static_cast<std::size_t>(a.to)] = v;
-        tree.parent_edge[static_cast<std::size_t>(a.to)] = a.edge;
-        frontier.push(a.to);
+        tree.parent[static_cast<std::size_t>(to)] = v;
+        tree.parent_edge[static_cast<std::size_t>(to)] =
+            neighbor_edge(row, i);
+        frontier.push(to);
       }
     }
   }
   return tree;
+}
+
+}  // namespace
+
+std::vector<int> bfs_distances(const Graph& g, NodeId src) {
+  return bfs_distances_impl(g, src);
+}
+
+std::vector<int> bfs_distances(const CsrGraph& g, NodeId src) {
+  return bfs_distances_impl(g, src);
+}
+
+BfsTree build_bfs_tree(const Graph& g, NodeId root) {
+  return build_bfs_tree_impl(g, root);
+}
+
+BfsTree build_bfs_tree(const CsrGraph& g, NodeId root) {
+  return build_bfs_tree_impl(g, root);
 }
 
 Components connected_components(const Graph& g) {
@@ -77,12 +123,21 @@ Components connected_components(const Graph& g) {
   return comps;
 }
 
-bool is_connected(const Graph& g) {
+namespace {
+
+template <typename GraphT>
+bool is_connected_impl(const GraphT& g) {
   if (g.num_nodes() == 0) return true;
-  const std::vector<int> dist = bfs_distances(g, 0);
+  const std::vector<int> dist = bfs_distances_impl(g, 0);
   return std::all_of(dist.begin(), dist.end(),
                      [](int d) { return d != kUnreached; });
 }
+
+}  // namespace
+
+bool is_connected(const Graph& g) { return is_connected_impl(g); }
+
+bool is_connected(const CsrGraph& g) { return is_connected_impl(g); }
 
 int eccentricity(const Graph& g, NodeId v) {
   const std::vector<int> dist = bfs_distances(g, v);

@@ -1,8 +1,15 @@
 // Basic graph algorithms: BFS, connectivity, diameter.
+//
+// The traversals come in two flavors: the Graph form for mutable /
+// under-construction graphs, and a CsrGraph overload for the frozen
+// snapshot view the solvers run on. Both visit neighbors in the same
+// order (CSR rows preserve the Graph's adjacency order exactly), so
+// trees, distances, and component labels are identical between them.
 #pragma once
 
 #include <vector>
 
+#include "graph/csr_graph.h"
 #include "graph/graph.h"
 
 namespace dmf {
@@ -11,6 +18,7 @@ inline constexpr int kUnreached = -1;
 
 // Hop distances from src (kUnreached where unreachable).
 std::vector<int> bfs_distances(const Graph& g, NodeId src);
+std::vector<int> bfs_distances(const CsrGraph& g, NodeId src);
 
 // BFS tree rooted at root: parent pointers, the graph edge to the parent,
 // hop depth, and the tree height (max depth over reached nodes).
@@ -23,6 +31,7 @@ struct BfsTree {
 };
 
 BfsTree build_bfs_tree(const Graph& g, NodeId root);
+BfsTree build_bfs_tree(const CsrGraph& g, NodeId root);
 
 // Connected components: labels in [0, count).
 struct Components {
@@ -33,6 +42,7 @@ struct Components {
 Components connected_components(const Graph& g);
 
 bool is_connected(const Graph& g);
+bool is_connected(const CsrGraph& g);
 
 // Exact hop diameter via BFS from every node. O(n·m); fine up to n ~ few
 // thousand. Requires a connected graph.

@@ -1,0 +1,91 @@
+#include "graph/csr_graph.h"
+
+#include <utility>
+
+namespace dmf {
+
+CsrGraph::CsrGraph(std::shared_ptr<const Graph> graph,
+                   const CsrGraph* previous)
+    : graph_(std::move(graph)) {
+  DMF_REQUIRE(graph_ != nullptr, "CsrGraph: null graph");
+  build(previous);
+}
+
+CsrGraph::CsrGraph(const Graph& graph)
+    : graph_(std::shared_ptr<const Graph>(std::shared_ptr<void>(), &graph)) {
+  build(nullptr);
+}
+
+void CsrGraph::build(const CsrGraph* previous) {
+  const Graph& g = *graph_;
+  num_nodes_ = g.num_nodes();
+  num_edges_ = g.num_edges();
+  endpoints_ = g.edge_endpoints().data();
+  capacities_ = g.capacities().data();
+  const auto n = static_cast<std::size_t>(num_nodes_);
+  const auto m = static_cast<std::size_t>(num_edges_);
+
+  // Mutation is append-only (add_nodes / add_edge / set_capacity), so
+  // within one copy-on-write lineage equal edge counts mean the packed
+  // half-edge arrays are identical, and equal node counts additionally
+  // mean the offsets are.
+  const bool same_edges =
+      previous != nullptr && previous->num_edges_ == num_edges_;
+  if (same_edges && previous->num_nodes_ == num_nodes_) {
+    offsets_ = previous->offsets_;
+    half_edges_ = previous->half_edges_;
+    cache_raw_views();
+    return;
+  }
+
+  auto offsets = std::make_shared<std::vector<std::size_t>>(n + 1, 0);
+  std::vector<std::size_t>& off = *offsets;
+  if (same_edges) {
+    // Nodes appended, adjacency untouched: share the packed arrays and
+    // extend the old offsets with empty rows.
+    const std::vector<std::size_t>& old = *previous->offsets_;
+    for (std::size_t v = 0; v <= n; ++v) {
+      off[v] = v < old.size() ? old[v] : old.back();
+    }
+    offsets_ = std::move(offsets);
+    half_edges_ = previous->half_edges_;
+    cache_raw_views();
+    return;
+  }
+
+  // Full pack: count degrees, prefix-sum, then place both half-edges of
+  // every edge in edge-id order. Per row that yields increasing edge
+  // ids — exactly the order Graph::add_edge appended them, so CSR rows
+  // and Graph::neighbors() enumerate identical sequences.
+  const EdgeEndpoints* eps = endpoints_;
+  for (std::size_t e = 0; e < m; ++e) {
+    ++off[static_cast<std::size_t>(eps[e].u) + 1];
+    ++off[static_cast<std::size_t>(eps[e].v) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) off[v + 1] += off[v];
+
+  auto half = std::make_shared<HalfEdges>();
+  half->neighbors.resize(2 * m);
+  half->edge_ids.resize(2 * m);
+  std::vector<std::size_t> cursor(off.begin(), off.end() - 1);
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto u = static_cast<std::size_t>(eps[e].u);
+    const auto v = static_cast<std::size_t>(eps[e].v);
+    const auto id = static_cast<EdgeId>(e);
+    half->neighbors[cursor[u]] = eps[e].v;
+    half->edge_ids[cursor[u]++] = id;
+    half->neighbors[cursor[v]] = eps[e].u;
+    half->edge_ids[cursor[v]++] = id;
+  }
+  offsets_ = std::move(offsets);
+  half_edges_ = std::move(half);
+  cache_raw_views();
+}
+
+void CsrGraph::cache_raw_views() {
+  offsets_ptr_ = offsets_->data();
+  neighbors_ptr_ = half_edges_->neighbors.data();
+  edge_ids_ptr_ = half_edges_->edge_ids.data();
+}
+
+}  // namespace dmf

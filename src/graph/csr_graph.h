@@ -1,0 +1,186 @@
+// Flat compact-sparse-row snapshot of a Graph — the solver hot-path view.
+//
+// Graph keeps adjacency as vector<vector<AdjEntry>>: friendly to
+// incremental construction, hostile to traversal (one heap allocation
+// per node defeats cache locality, and every accessor re-validates its
+// argument). Since GraphStore snapshots are immutable after publish, the
+// representation can be frozen and packed once: CsrGraph lays the whole
+// adjacency out in four contiguous arrays
+//
+//   offsets[n+1]   row boundaries (row v = [offsets[v], offsets[v+1]))
+//   neighbors[2m]  the node reached by each half-edge
+//   edge_ids[2m]   the graph edge each half-edge belongs to
+//   capacities[m]  per-edge capacity (borrowed from the Graph)
+//
+// preserving the Graph's per-node adjacency order EXACTLY (both are in
+// increasing edge-id order per node), so any traversal converted from
+// Graph::neighbors() to a CSR row visits the same entries in the same
+// order — seeded results stay bitwise identical.
+//
+// Division of labor after this split: Graph is the safe mutable builder
+// (every accessor DMF_REQUIREs its argument, in Release too); CsrGraph
+// is the frozen hot view (DMF_ASSERT only — free in Release), plus raw
+// array access for inner loops that index edges directly.
+//
+// Lifetime: the owning form holds the Graph via shared_ptr and borrows
+// its endpoint/capacity storage (zero copies — snapshots are immutable).
+// Structure arrays may be shared between CsrGraphs of different
+// snapshots in the same copy-on-write lineage when a mutation batch did
+// not touch the adjacency (capacity-only batches share everything;
+// node-only batches share the packed half-edge arrays and re-derive the
+// offsets); see GraphStore::apply.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmf {
+
+// One CSR adjacency row: parallel views of the neighbor reached and the
+// edge used by each incident half-edge. Index iteration:
+//
+//   const CsrRow row = csr.neighbors(v);
+//   for (std::size_t i = 0; i < row.size(); ++i) use(row.to(i), row.edge(i));
+class CsrRow {
+ public:
+  CsrRow(const NodeId* to, const EdgeId* edge, std::size_t size)
+      : to_(to), edge_(edge), size_(size) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] NodeId to(std::size_t i) const {
+    DMF_ASSERT(i < size_, "CsrRow::to: index out of range");
+    return to_[i];
+  }
+  [[nodiscard]] EdgeId edge(std::size_t i) const {
+    DMF_ASSERT(i < size_, "CsrRow::edge: index out of range");
+    return edge_[i];
+  }
+
+ private:
+  const NodeId* to_;
+  const EdgeId* edge_;
+  std::size_t size_;
+};
+
+class CsrGraph {
+ public:
+  // Owning form: keeps the graph alive, so snapshots carrying a CsrGraph
+  // are freely shareable. `previous` (optional) is the CSR of an
+  // ancestor snapshot in the same copy-on-write lineage; its packed
+  // arrays are reused when the adjacency structure is unchanged. Only
+  // pass a CSR whose graph `graph` was derived from by append-only
+  // mutation (GraphStore guarantees this) — reuse is decided from the
+  // node/edge counts.
+  explicit CsrGraph(std::shared_ptr<const Graph> graph,
+                    const CsrGraph* previous = nullptr);
+
+  // Non-owning view for stack-local graphs; the caller guarantees the
+  // graph outlives the CsrGraph.
+  explicit CsrGraph(const Graph& graph);
+
+  [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
+  [[nodiscard]] EdgeId num_edges() const { return num_edges_; }
+
+  [[nodiscard]] bool is_valid_node(NodeId v) const {
+    return v >= 0 && v < num_nodes_;
+  }
+  [[nodiscard]] bool is_valid_edge(EdgeId e) const {
+    return e >= 0 && e < num_edges_;
+  }
+
+  [[nodiscard]] CsrRow neighbors(NodeId v) const {
+    DMF_ASSERT(is_valid_node(v), "CsrGraph::neighbors: bad node");
+    const auto vi = static_cast<std::size_t>(v);
+    const std::size_t begin = offsets_ptr_[vi];
+    return CsrRow(neighbors_ptr_ + begin, edge_ids_ptr_ + begin,
+                  offsets_ptr_[vi + 1] - begin);
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId v) const {
+    DMF_ASSERT(is_valid_node(v), "CsrGraph::degree: bad node");
+    const auto vi = static_cast<std::size_t>(v);
+    return offsets_ptr_[vi + 1] - offsets_ptr_[vi];
+  }
+
+  // Sum of capacities of edges incident to v, accumulated in edge-id
+  // order — bitwise identical to Graph::weighted_degree.
+  [[nodiscard]] double weighted_degree(NodeId v) const {
+    const CsrRow row = neighbors(v);
+    double total = 0.0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      total += capacities_[static_cast<std::size_t>(row.edge(i))];
+    }
+    return total;
+  }
+
+  [[nodiscard]] EdgeEndpoints endpoints(EdgeId e) const {
+    DMF_ASSERT(is_valid_edge(e), "CsrGraph::endpoints: bad edge");
+    return endpoints_[static_cast<std::size_t>(e)];
+  }
+
+  [[nodiscard]] NodeId other_endpoint(EdgeId e, NodeId v) const {
+    const EdgeEndpoints ep = endpoints(e);
+    DMF_ASSERT(ep.u == v || ep.v == v, "CsrGraph::other_endpoint: v not on e");
+    return ep.u == v ? ep.v : ep.u;
+  }
+
+  [[nodiscard]] double capacity(EdgeId e) const {
+    DMF_ASSERT(is_valid_edge(e), "CsrGraph::capacity: bad edge");
+    return capacities_[static_cast<std::size_t>(e)];
+  }
+
+  // Raw arrays for inner loops that index edges directly (gradient
+  // sweeps, congestion scans). Unchecked by design.
+  [[nodiscard]] const EdgeEndpoints* endpoints_data() const {
+    return endpoints_;
+  }
+  [[nodiscard]] const double* capacities_data() const { return capacities_; }
+
+  // The packed structure arrays (for tests asserting sharing/isolation
+  // across snapshot versions; not a traversal API).
+  [[nodiscard]] const std::vector<std::size_t>& offsets() const {
+    return *offsets_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& neighbor_array() const {
+    return half_edges_->neighbors;
+  }
+  [[nodiscard]] const std::vector<EdgeId>& edge_id_array() const {
+    return half_edges_->edge_ids;
+  }
+
+  // The Graph this CSR was packed from (null deleter in the view form).
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+  [[nodiscard]] const std::shared_ptr<const Graph>& shared_graph() const {
+    return graph_;
+  }
+
+ private:
+  // The O(m) packed half-edge arrays, shared between snapshot versions
+  // whose adjacency is unchanged.
+  struct HalfEdges {
+    std::vector<NodeId> neighbors;
+    std::vector<EdgeId> edge_ids;
+  };
+
+  void build(const CsrGraph* previous);
+  void cache_raw_views();
+
+  std::shared_ptr<const Graph> graph_;
+  std::shared_ptr<const std::vector<std::size_t>> offsets_;  // n + 1
+  std::shared_ptr<const HalfEdges> half_edges_;              // 2m each
+  // Raw views of the arrays above (and the graph's), cached so a row
+  // lookup is two offset loads instead of shared_ptr/vector-header
+  // indirections.
+  const std::size_t* offsets_ptr_ = nullptr;
+  const NodeId* neighbors_ptr_ = nullptr;
+  const EdgeId* edge_ids_ptr_ = nullptr;
+  const EdgeEndpoints* endpoints_ = nullptr;  // borrowed from graph_
+  const double* capacities_ = nullptr;        // borrowed from graph_
+  NodeId num_nodes_ = 0;
+  EdgeId num_edges_ = 0;
+};
+
+}  // namespace dmf

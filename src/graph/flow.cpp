@@ -19,12 +19,45 @@ std::vector<double> flow_divergence(const Graph& g,
   return div;
 }
 
+std::vector<double> flow_divergence(const CsrGraph& g,
+                                    const std::vector<double>& flow) {
+  std::vector<double> div;
+  flow_divergence_into(g, flow, div);
+  return div;
+}
+
+void flow_divergence_into(const CsrGraph& g, const std::vector<double>& flow,
+                          std::vector<double>& div) {
+  DMF_REQUIRE(flow.size() == static_cast<std::size_t>(g.num_edges()),
+              "flow_divergence: size mismatch");
+  div.assign(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  const EdgeEndpoints* eps = g.endpoints_data();
+  const auto m = static_cast<std::size_t>(g.num_edges());
+  for (std::size_t e = 0; e < m; ++e) {
+    const double f = flow[e];
+    div[static_cast<std::size_t>(eps[e].u)] += f;
+    div[static_cast<std::size_t>(eps[e].v)] -= f;
+  }
+}
+
 double flow_value(const Graph& g, const std::vector<double>& flow, NodeId s) {
   double value = 0.0;
   for (const AdjEntry& a : g.neighbors(s)) {
     const EdgeEndpoints ep = g.endpoints(a.edge);
     const double f = flow[static_cast<std::size_t>(a.edge)];
     value += (ep.u == s) ? f : -f;
+  }
+  return value;
+}
+
+double flow_value(const CsrGraph& g, const std::vector<double>& flow,
+                  NodeId s) {
+  double value = 0.0;
+  const CsrRow row = g.neighbors(s);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const EdgeId e = row.edge(i);
+    const double f = flow[static_cast<std::size_t>(e)];
+    value += (g.endpoints(e).u == s) ? f : -f;
   }
   return value;
 }
@@ -36,6 +69,18 @@ double max_congestion(const Graph& g, const std::vector<double>& flow) {
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     worst = std::max(worst, std::abs(flow[static_cast<std::size_t>(e)]) /
                                 g.capacity(e));
+  }
+  return worst;
+}
+
+double max_congestion(const CsrGraph& g, const std::vector<double>& flow) {
+  DMF_REQUIRE(flow.size() == static_cast<std::size_t>(g.num_edges()),
+              "max_congestion: size mismatch");
+  const double* cap = g.capacities_data();
+  const auto m = static_cast<std::size_t>(g.num_edges());
+  double worst = 0.0;
+  for (std::size_t e = 0; e < m; ++e) {
+    worst = std::max(worst, std::abs(flow[e]) / cap[e]);
   }
   return worst;
 }

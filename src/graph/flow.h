@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "graph/csr_graph.h"
 #include "graph/graph.h"
 
 namespace dmf {
@@ -22,12 +23,22 @@ namespace dmf {
 // (sources have positive b, sinks negative, sum b == 0).
 std::vector<double> flow_divergence(const Graph& g,
                                     const std::vector<double>& flow);
+// CSR overload for the solver hot path: same accumulation order (edge
+// ids ascending), bitwise-identical result.
+std::vector<double> flow_divergence(const CsrGraph& g,
+                                    const std::vector<double>& flow);
+// In-place variant for per-iteration reuse (div is resized and zeroed).
+void flow_divergence_into(const CsrGraph& g, const std::vector<double>& flow,
+                          std::vector<double>& div);
 
 // Net flow out of s (== into t if f routes an s-t flow).
 double flow_value(const Graph& g, const std::vector<double>& flow, NodeId s);
+double flow_value(const CsrGraph& g, const std::vector<double>& flow,
+                  NodeId s);
 
 // max_e |f_e| / cap(e).
 double max_congestion(const Graph& g, const std::vector<double>& flow);
+double max_congestion(const CsrGraph& g, const std::vector<double>& flow);
 
 // True iff |f_e| <= cap(e) * (1 + tol) for all e.
 bool is_feasible(const Graph& g, const std::vector<double>& flow,

@@ -22,8 +22,12 @@ Graph make_grid(int width, int height, const CapacityRange& caps, Rng& rng) {
   };
   for (int y = 0; y < height; ++y) {
     for (int x = 0; x < width; ++x) {
-      if (x + 1 < width) g.add_edge(id(x, y), id(x + 1, y), draw_capacity(caps, rng));
-      if (y + 1 < height) g.add_edge(id(x, y), id(x, y + 1), draw_capacity(caps, rng));
+      if (x + 1 < width) {
+        g.add_edge(id(x, y), id(x + 1, y), draw_capacity(caps, rng));
+      }
+      if (y + 1 < height) {
+        g.add_edge(id(x, y), id(x, y + 1), draw_capacity(caps, rng));
+      }
     }
   }
   return g;

@@ -80,20 +80,24 @@ class Graph {
     return e >= 0 && e < num_edges();
   }
 
+  // Accessor checks are DMF_REQUIRE across the board — on in Release
+  // too, consistently with the mutators. Hot loops should traverse the
+  // CsrGraph snapshot view (graph/csr_graph.h), whose accessors are
+  // debug-checked only.
   [[nodiscard]] EdgeEndpoints endpoints(EdgeId e) const {
-    DMF_ASSERT(is_valid_edge(e), "endpoints: bad edge");
+    DMF_REQUIRE(is_valid_edge(e), "endpoints: bad edge");
     return endpoints_[static_cast<std::size_t>(e)];
   }
 
   // The endpoint of e that is not v.
   [[nodiscard]] NodeId other_endpoint(EdgeId e, NodeId v) const {
     const EdgeEndpoints ep = endpoints(e);
-    DMF_ASSERT(ep.u == v || ep.v == v, "other_endpoint: v not on e");
+    DMF_REQUIRE(ep.u == v || ep.v == v, "other_endpoint: v not on e");
     return ep.u == v ? ep.v : ep.u;
   }
 
   [[nodiscard]] double capacity(EdgeId e) const {
-    DMF_ASSERT(is_valid_edge(e), "capacity: bad edge");
+    DMF_REQUIRE(is_valid_edge(e), "capacity: bad edge");
     return capacities_[static_cast<std::size_t>(e)];
   }
 
@@ -105,7 +109,7 @@ class Graph {
   }
 
   [[nodiscard]] const std::vector<AdjEntry>& neighbors(NodeId v) const {
-    DMF_ASSERT(is_valid_node(v), "neighbors: bad node");
+    DMF_REQUIRE(is_valid_node(v), "neighbors: bad node");
     return adjacency_[static_cast<std::size_t>(v)];
   }
 
@@ -140,6 +144,12 @@ class Graph {
 
   [[nodiscard]] const std::vector<double>& capacities() const {
     return capacities_;
+  }
+
+  // Contiguous endpoint storage; the CsrGraph snapshot view borrows it
+  // so packing never copies the edge list.
+  [[nodiscard]] const std::vector<EdgeEndpoints>& edge_endpoints() const {
+    return endpoints_;
   }
 
   [[nodiscard]] std::string summary() const;

@@ -7,8 +7,9 @@ namespace dmf {
 
 GraphStore::GraphStore(Graph initial, std::size_t history_limit)
     : history_limit_(history_limit) {
-  history_.push_back(
-      GraphSnapshot{std::make_shared<const Graph>(std::move(initial)), 0});
+  auto graph = std::make_shared<const Graph>(std::move(initial));
+  auto csr = std::make_shared<const CsrGraph>(graph);
+  history_.push_back(GraphSnapshot{std::move(graph), std::move(csr), 0});
 }
 
 GraphSnapshot GraphStore::snapshot() const {
@@ -61,7 +62,13 @@ GraphSnapshot GraphStore::apply(const MutationBatch& batch) {
         break;
     }
   }
-  GraphSnapshot published{std::make_shared<const Graph>(std::move(next)),
+  auto next_graph = std::make_shared<const Graph>(std::move(next));
+  // Pack the CSR view at publish time, reusing the base snapshot's
+  // arrays where the batch left the adjacency untouched (the packed
+  // half-edge arrays survive capacity- and node-only batches).
+  auto next_csr =
+      std::make_shared<const CsrGraph>(next_graph, base.csr.get());
+  GraphSnapshot published{std::move(next_graph), std::move(next_csr),
                           base.version + 1};
   {
     std::lock_guard<std::mutex> lock(mutex_);

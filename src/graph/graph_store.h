@@ -26,13 +26,21 @@
 #include <mutex>
 #include <vector>
 
+#include "graph/csr_graph.h"
 #include "graph/graph.h"
 
 namespace dmf {
 
-// One immutable published state of the graph.
+// One immutable published state of the graph. Each snapshot carries its
+// flat CSR view, packed once at publish time (graph/csr_graph.h):
+// solvers traverse `csr`, never the Graph's per-node vectors.
+// Capacity-only batches republish the previous snapshot's packed
+// adjacency arrays unchanged; node-only batches reuse the half-edge
+// arrays and re-derive the offsets; only batches that add edges pay a
+// full O(n + m) repack.
 struct GraphSnapshot {
   std::shared_ptr<const Graph> graph;
+  std::shared_ptr<const CsrGraph> csr;
   GraphVersion version = 0;
 };
 
@@ -118,7 +126,8 @@ class GraphStore {
   mutable std::mutex mutex_;    // guards history_
   std::mutex writer_mutex_;     // serializes apply() end to end
   GraphVersion pruned_below_ = 0;
-  std::vector<GraphSnapshot> history_;  // history_[i].version == pruned_below_ + i
+  // history_[i].version == pruned_below_ + i
+  std::vector<GraphSnapshot> history_;
   const std::size_t history_limit_;
 };
 

@@ -15,18 +15,6 @@ Multigraph Multigraph::from_graph(const Graph& g) {
   return mg;
 }
 
-std::vector<std::vector<std::pair<NodeId, std::size_t>>>
-Multigraph::build_adjacency() const {
-  std::vector<std::vector<std::pair<NodeId, std::size_t>>> adj(
-      static_cast<std::size_t>(num_nodes_));
-  for (std::size_t i = 0; i < edges_.size(); ++i) {
-    const MultiEdge& e = edges_[i];
-    adj[static_cast<std::size_t>(e.u)].emplace_back(e.v, i);
-    adj[static_cast<std::size_t>(e.v)].emplace_back(e.u, i);
-  }
-  return adj;
-}
-
 Multigraph Multigraph::contract(const std::vector<NodeId>& mapping,
                                 NodeId new_num_nodes) const {
   DMF_REQUIRE(mapping.size() == static_cast<std::size_t>(num_nodes_),
@@ -49,7 +37,7 @@ Multigraph Multigraph::contract(const std::vector<NodeId>& mapping,
 
 bool Multigraph::is_connected() const {
   if (num_nodes_ <= 1) return true;
-  const auto adj = build_adjacency();
+  const MultiAdjacency adj(*this);
   std::vector<char> seen(static_cast<std::size_t>(num_nodes_), 0);
   std::queue<NodeId> frontier;
   seen[0] = 1;
@@ -58,16 +46,68 @@ bool Multigraph::is_connected() const {
   while (!frontier.empty()) {
     const NodeId v = frontier.front();
     frontier.pop();
-    for (const auto& [to, idx] : adj[static_cast<std::size_t>(v)]) {
-      (void)idx;
-      if (!seen[static_cast<std::size_t>(to)]) {
-        seen[static_cast<std::size_t>(to)] = 1;
+    for (const MultiAdjacency::Entry& a : adj.row(v)) {
+      if (!seen[static_cast<std::size_t>(a.to)]) {
+        seen[static_cast<std::size_t>(a.to)] = 1;
         ++reached;
-        frontier.push(to);
+        frontier.push(a.to);
       }
     }
   }
   return reached == num_nodes_;
+}
+
+// --- MultiAdjacency ----------------------------------------------------------
+
+// Two-pass counting build: `for_each(visit)` must call visit(i) for every
+// selected edge index, in the same order both times — that order becomes
+// the per-node entry order (u's half-edge placed before v's per edge,
+// matching the push_back order of the old per-node vectors).
+template <typename EdgeVisitor>
+void MultiAdjacency::build(NodeId num_nodes, const Multigraph& g,
+                           EdgeVisitor&& for_each) {
+  const auto n = static_cast<std::size_t>(num_nodes);
+  offsets_.assign(n + 1, 0);
+  const std::vector<MultiEdge>& edges = g.edges();
+  std::size_t selected = 0;
+  for_each([&](std::size_t i) {
+    const MultiEdge& e = edges[i];
+    ++offsets_[static_cast<std::size_t>(e.u) + 1];
+    ++offsets_[static_cast<std::size_t>(e.v) + 1];
+    ++selected;
+  });
+  for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+  entries_.resize(2 * selected);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for_each([&](std::size_t i) {
+    const MultiEdge& e = edges[i];
+    entries_[cursor[static_cast<std::size_t>(e.u)]++] = {e.v, i};
+    entries_[cursor[static_cast<std::size_t>(e.v)]++] = {e.u, i};
+  });
+}
+
+MultiAdjacency::MultiAdjacency(const Multigraph& g) {
+  build(g.num_nodes(), g, [&](auto&& visit) {
+    for (std::size_t i = 0; i < g.num_edges(); ++i) visit(i);
+  });
+}
+
+MultiAdjacency::MultiAdjacency(const Multigraph& g,
+                               const std::vector<char>& allowed) {
+  DMF_REQUIRE(allowed.size() == g.num_edges(),
+              "MultiAdjacency: allowed mask size mismatch");
+  build(g.num_nodes(), g, [&](auto&& visit) {
+    for (std::size_t i = 0; i < g.num_edges(); ++i) {
+      if (allowed[i]) visit(i);
+    }
+  });
+}
+
+MultiAdjacency::MultiAdjacency(NodeId num_nodes, const Multigraph& g,
+                               const std::vector<std::size_t>& edges) {
+  build(num_nodes, g, [&](auto&& visit) {
+    for (const std::size_t i : edges) visit(i);
+  });
 }
 
 }  // namespace dmf

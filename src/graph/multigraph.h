@@ -64,11 +64,6 @@ class Multigraph {
   }
   [[nodiscard]] const std::vector<MultiEdge>& edges() const { return edges_; }
 
-  // Adjacency: for each node, (neighbor, edge index) pairs. Rebuilt on
-  // call; callers cache it across a phase.
-  [[nodiscard]] std::vector<std::vector<std::pair<NodeId, std::size_t>>>
-  build_adjacency() const;
-
   // Contract according to `mapping` (old node -> new node in
   // [0, new_num_nodes)). Self-loops are dropped; parallel edges are kept.
   [[nodiscard]] Multigraph contract(const std::vector<NodeId>& mapping,
@@ -79,6 +74,64 @@ class Multigraph {
  private:
   NodeId num_nodes_ = 0;
   std::vector<MultiEdge> edges_;
+};
+
+// Flat CSR adjacency over (a subset of) a Multigraph's edges — the
+// traversal structure of the LSST / sparsifier / j-tree construction
+// loops. One contiguous half-edge array replaces the per-node vectors
+// the callers used to build, with identical per-node entry order (edge
+// iteration order, u before v), so every traversal — and therefore every
+// seeded sample — is unchanged.
+//
+// A MultiAdjacency is a snapshot of the edge list it was built from;
+// rebuild after mutating or contracting the multigraph.
+class MultiAdjacency {
+ public:
+  struct Entry {
+    NodeId to = kInvalidNode;
+    std::size_t edge = kNoMultiEdge;
+  };
+
+  class Row {
+   public:
+    Row(const Entry* begin, const Entry* end) : begin_(begin), end_(end) {}
+    [[nodiscard]] const Entry* begin() const { return begin_; }
+    [[nodiscard]] const Entry* end() const { return end_; }
+    [[nodiscard]] std::size_t size() const {
+      return static_cast<std::size_t>(end_ - begin_);
+    }
+
+   private:
+    const Entry* begin_;
+    const Entry* end_;
+  };
+
+  // All edges of g, in edge-index order.
+  explicit MultiAdjacency(const Multigraph& g);
+
+  // Only edges with allowed[i] != 0, in edge-index order.
+  MultiAdjacency(const Multigraph& g, const std::vector<char>& allowed);
+
+  // An explicit edge-index list (e.g. a spanning tree), in list order.
+  MultiAdjacency(NodeId num_nodes, const Multigraph& g,
+                 const std::vector<std::size_t>& edges);
+
+  [[nodiscard]] Row row(NodeId v) const {
+    DMF_ASSERT(v >= 0 && static_cast<std::size_t>(v) + 1 < offsets_.size(),
+               "MultiAdjacency::row: bad node");
+    const auto vi = static_cast<std::size_t>(v);
+    return Row(entries_.data() + offsets_[vi],
+               entries_.data() + offsets_[vi + 1]);
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId v) const { return row(v).size(); }
+
+ private:
+  template <typename EdgeVisitor>
+  void build(NodeId num_nodes, const Multigraph& g, EdgeVisitor&& for_each);
+
+  std::vector<std::size_t> offsets_;  // n + 1
+  std::vector<Entry> entries_;        // one per half-edge
 };
 
 }  // namespace dmf

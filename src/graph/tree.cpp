@@ -123,7 +123,8 @@ LcaIndex::LcaIndex(const RootedTree& tree) {
       up_[static_cast<std::size_t>(k)][v] =
           mid == kInvalidNode
               ? kInvalidNode
-              : up_[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(mid)];
+              : up_[static_cast<std::size_t>(k - 1)]
+                    [static_cast<std::size_t>(mid)];
     }
   }
 }
@@ -133,12 +134,16 @@ NodeId LcaIndex::lca(NodeId u, NodeId v) const {
   if (depth(u) < depth(v)) std::swap(u, v);
   int diff = depth(u) - depth(v);
   for (int k = 0; diff > 0; ++k, diff >>= 1) {
-    if (diff & 1) u = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(u)];
+    if (diff & 1) {
+      u = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(u)];
+    }
   }
   if (u == v) return u;
   for (int k = levels_ - 1; k >= 0; --k) {
-    const NodeId nu = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(u)];
-    const NodeId nv = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)];
+    const NodeId nu =
+        up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(u)];
+    const NodeId nv =
+        up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)];
     if (nu != nv) {
       u = nu;
       v = nv;

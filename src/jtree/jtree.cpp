@@ -32,12 +32,7 @@ RootedTree build_rooted_tree_mg(const Multigraph& g,
   const auto n = static_cast<std::size_t>(g.num_nodes());
   DMF_REQUIRE(root >= 0 && static_cast<std::size_t>(root) < n,
               "build_rooted_tree_mg: bad root");
-  std::vector<std::vector<std::pair<NodeId, std::size_t>>> adj(n);
-  for (const std::size_t i : edges) {
-    const MultiEdge& e = g.edge(i);
-    adj[static_cast<std::size_t>(e.u)].emplace_back(e.v, i);
-    adj[static_cast<std::size_t>(e.v)].emplace_back(e.u, i);
-  }
+  const MultiAdjacency adj(g.num_nodes(), g, edges);
   RootedTree tree;
   tree.root = root;
   tree.parent.assign(n, kInvalidNode);
@@ -51,7 +46,7 @@ RootedTree build_rooted_tree_mg(const Multigraph& g,
   while (!frontier.empty()) {
     const NodeId v = frontier.front();
     frontier.pop();
-    for (const auto& [to, idx] : adj[static_cast<std::size_t>(v)]) {
+    for (const auto& [to, idx] : adj.row(v)) {
       if (seen[static_cast<std::size_t>(to)]) continue;
       seen[static_cast<std::size_t>(to)] = 1;
       ++reached;

@@ -133,12 +133,7 @@ RootedTree tree_from_multigraph_edges(const Multigraph& g,
   const auto n = static_cast<std::size_t>(g.num_nodes());
   DMF_REQUIRE(root >= 0 && static_cast<std::size_t>(root) < n,
               "tree_from_multigraph_edges: bad root");
-  std::vector<std::vector<std::pair<NodeId, std::size_t>>> adj(n);
-  for (const std::size_t i : edges) {
-    const MultiEdge& e = g.edge(i);
-    adj[static_cast<std::size_t>(e.u)].emplace_back(e.v, i);
-    adj[static_cast<std::size_t>(e.v)].emplace_back(e.u, i);
-  }
+  const MultiAdjacency adj(g.num_nodes(), g, edges);
   RootedTree tree;
   tree.root = root;
   tree.parent.assign(n, kInvalidNode);
@@ -152,7 +147,7 @@ RootedTree tree_from_multigraph_edges(const Multigraph& g,
   while (!frontier.empty()) {
     const NodeId v = frontier.front();
     frontier.pop();
-    for (const auto& [to, idx] : adj[static_cast<std::size_t>(v)]) {
+    for (const auto& [to, idx] : adj.row(v)) {
       if (seen[static_cast<std::size_t>(to)]) continue;
       seen[static_cast<std::size_t>(to)] = 1;
       ++reached;
@@ -172,12 +167,7 @@ double average_stretch(const Multigraph& g,
   DMF_REQUIRE(g.num_edges() > 0, "average_stretch: empty graph");
   const auto n = static_cast<std::size_t>(g.num_nodes());
   // Build the tree with per-link lengths.
-  std::vector<std::vector<std::pair<NodeId, std::size_t>>> adj(n);
-  for (const std::size_t i : tree_edges) {
-    const MultiEdge& e = g.edge(i);
-    adj[static_cast<std::size_t>(e.u)].emplace_back(e.v, i);
-    adj[static_cast<std::size_t>(e.v)].emplace_back(e.u, i);
-  }
+  const MultiAdjacency adj(g.num_nodes(), g, tree_edges);
   RootedTree tree;
   tree.root = 0;
   tree.parent.assign(n, kInvalidNode);
@@ -191,7 +181,7 @@ double average_stretch(const Multigraph& g,
   while (!frontier.empty()) {
     const NodeId v = frontier.front();
     frontier.pop();
-    for (const auto& [to, idx] : adj[static_cast<std::size_t>(v)]) {
+    for (const auto& [to, idx] : adj.row(v)) {
       if (seen[static_cast<std::size_t>(to)]) continue;
       seen[static_cast<std::size_t>(to)] = 1;
       tree.parent[static_cast<std::size_t>(to)] = v;
@@ -206,7 +196,8 @@ double average_stretch(const Multigraph& g,
     const NodeId p = tree.parent[static_cast<std::size_t>(v)];
     if (p != kInvalidNode) {
       pref[static_cast<std::size_t>(v)] =
-          pref[static_cast<std::size_t>(p)] + link_len[static_cast<std::size_t>(v)];
+          pref[static_cast<std::size_t>(p)] +
+          link_len[static_cast<std::size_t>(v)];
     }
   }
   const LcaIndex lca(tree);

@@ -55,8 +55,9 @@ PartitionResult partition(const Multigraph& g,
     double violation = 0.0;
     for (int c = 0; c < num_classes; ++c) {
       const double limit =
-          options.slack * static_cast<double>(total[static_cast<std::size_t>(c)]) *
-              log_n / options.rho +
+          options.slack *
+              static_cast<double>(total[static_cast<std::size_t>(c)]) * log_n /
+              options.rho +
           options.slack * log_n;
       const double over =
           static_cast<double>(cut[static_cast<std::size_t>(c)]) - limit;

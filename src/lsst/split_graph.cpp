@@ -31,22 +31,17 @@ SplitResult split_graph(const Multigraph& g,
   const NodeId n = g.num_nodes();
   const auto nn = static_cast<std::size_t>(n);
 
-  // Allowed-edge adjacency.
-  std::vector<std::vector<std::pair<NodeId, std::size_t>>> adj(nn);
-  for (std::size_t i = 0; i < g.num_edges(); ++i) {
-    if (!edge_allowed[i]) continue;
-    const MultiEdge& e = g.edge(i);
-    adj[static_cast<std::size_t>(e.u)].emplace_back(e.v, i);
-    adj[static_cast<std::size_t>(e.v)].emplace_back(e.u, i);
-  }
+  // Allowed-edge adjacency, flat (rebuilt per call — the mask changes
+  // every AKPW iteration).
+  const MultiAdjacency adj(g, edge_allowed);
 
   SplitResult result;
   result.cluster.assign(nn, -1);
   result.parent.assign(nn, kInvalidNode);
   result.parent_edge.assign(nn, kNoMultiEdge);
 
-  const int log_n =
-      std::max(1, static_cast<int>(std::ceil(std::log2(std::max<NodeId>(2, n)))));
+  const int log_n = std::max(
+      1, static_cast<int>(std::ceil(std::log2(std::max<NodeId>(2, n)))));
   const int stages = 2 * log_n;
   const int delay_cap = std::max(0, static_cast<int>(rho) / stages);
 
@@ -97,7 +92,7 @@ SplitResult split_graph(const Multigraph& g,
       stage_cluster[vi] = a.source_rank;
       best_time[vi] = a.time;
       best_rank[vi] = a.source_rank;
-      for (const auto& [to, edge] : adj[vi]) {
+      for (const auto& [to, edge] : adj.row(a.node)) {
         const auto ti = static_cast<std::size_t>(to);
         if (stage_cluster[ti] != -1 || result.cluster[ti] != -1) continue;
         // Record the tree link on first improvement; the settled check
@@ -120,7 +115,8 @@ SplitResult split_graph(const Multigraph& g,
     for (NodeId v = 0; v < n; ++v) {
       const auto vi = static_cast<std::size_t>(v);
       if (stage_cluster[vi] == -1) continue;
-      auto& global = stage_to_global[static_cast<std::size_t>(stage_cluster[vi])];
+      auto& global =
+          stage_to_global[static_cast<std::size_t>(stage_cluster[vi])];
       if (global == -1) global = result.count++;
       result.cluster[vi] = global;
     }

@@ -1,50 +1,21 @@
 #include "maxflow/almost_route.h"
 
 #include <algorithm>
-#include <limits>
 #include <cmath>
+#include <limits>
 
-#include "graph/algorithms.h"
 #include "graph/flow.h"
 
 namespace dmf {
 
-namespace {
-
-// log sum_i (e^{x_i} + e^{-x_i}) over all entries of all vectors,
-// max-shifted for stability. Roots (zero-capacity links) are skipped via
-// the skip array; pass nullptr to use all entries.
-class SoftMax {
- public:
-  void reset() {
-    max_abs_ = 0.0;
-    terms_.clear();
-  }
-  void add(double x) {
-    terms_.push_back(x);
-    max_abs_ = std::max(max_abs_, std::abs(x));
-  }
-  [[nodiscard]] double value() const {
-    double sum = 0.0;
-    for (const double x : terms_) {
-      sum += std::exp(x - max_abs_) + std::exp(-x - max_abs_);
-    }
-    return max_abs_ + std::log(sum);
-  }
-
- private:
-  double max_abs_ = 0.0;
-  std::vector<double> terms_;
-};
-
-}  // namespace
-
-AlmostRouteResult almost_route(const Graph& g,
+AlmostRouteResult almost_route(const CsrGraph& g,
                                const CongestionApproximator& approximator,
                                const std::vector<double>& demand,
                                const AlmostRouteOptions& options) {
   const auto n = static_cast<std::size_t>(g.num_nodes());
   const auto m = static_cast<std::size_t>(g.num_edges());
+  const double* cap = g.capacities_data();
+  const EdgeEndpoints* eps_arr = g.endpoints_data();
   DMF_REQUIRE(demand.size() == n, "almost_route: demand size mismatch");
   DMF_REQUIRE(options.epsilon > 0.0 && options.epsilon <= 1.0,
               "almost_route: epsilon in (0, 1] required");
@@ -73,39 +44,71 @@ AlmostRouteResult almost_route(const Graph& g,
       2.0 * approximator.rounds_per_application(diameter_rounds) +
       diameter_rounds;
 
+  const auto num_trees = static_cast<std::size_t>(approximator.num_trees());
   std::vector<double> gradient(m, 0.0);
   std::vector<double> residual(n, 0.0);
   std::vector<double> previous_flow(m, 0.0);  // for momentum
+  // Per-iteration buffers, allocated once: the flattened [t*n + v]
+  // R-application and link prices, the divergence/potential vectors, and
+  // the tree-pass workspace (see apply_into/potentials_into).
+  std::vector<double> div;
+  std::vector<double> y_flat;
+  std::vector<double> price_flat;
+  std::vector<double> pi;
+  std::vector<double> tree_workspace;
+  std::vector<double> edge_congestion(m);  // f_e / cap_e, once per iteration
   int momentum_age = 0;
   double last_delta = std::numeric_limits<double>::infinity();
 
+  // Symmetric soft-max smax(x) = log sum_i (e^{x_i} + e^{-x_i}),
+  // max-shifted for stability. Evaluated in two streaming passes (max,
+  // then ordered exp sum) — same accumulation order as summing a stored
+  // term list, with no term storage.
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++result.iterations;
     result.rounds += rounds_per_iter;
 
     // Residual demand r = b - div(f).
-    const std::vector<double> div = flow_divergence(g, result.flow);
+    flow_divergence_into(g, result.flow, div);
     for (std::size_t v = 0; v < n; ++v) residual[v] = b[v] - div[v];
 
-    // phi_1 = smax(C^-1 f), phi_2 = smax(2 alpha R r).
-    SoftMax sm1;
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      sm1.add(result.flow[static_cast<std::size_t>(e)] / g.capacity(e));
+    // phi_1 = smax(C^-1 f), phi_2 = smax(2 alpha R r). The per-edge
+    // congestion f_e / cap_e feeds three loops (max, exp sum, gradient);
+    // divide once.
+    double max1 = 0.0;
+    for (std::size_t e = 0; e < m; ++e) {
+      edge_congestion[e] = result.flow[e] / cap[e];
+      max1 = std::max(max1, std::abs(edge_congestion[e]));
     }
-    const double phi1 = sm1.value();
+    double sum1 = 0.0;
+    for (std::size_t e = 0; e < m; ++e) {
+      const double x = edge_congestion[e];
+      sum1 += std::exp(x - max1) + std::exp(-x - max1);
+    }
+    const double phi1 = max1 + std::log(sum1);
 
-    const std::vector<std::vector<double>> y =
-        approximator.apply(residual, 2.0 * alpha);
-    SoftMax sm2;
-    for (int t = 0; t < approximator.num_trees(); ++t) {
-      const RootedTree& tree = approximator.tree(t);
-      for (NodeId v = 0; v < tree.num_nodes(); ++v) {
-        if (v != tree.root) {
-          sm2.add(y[static_cast<std::size_t>(t)][static_cast<std::size_t>(v)]);
+    approximator.apply_into(residual, 2.0 * alpha, y_flat, tree_workspace);
+    double max2 = 0.0;
+    for (std::size_t t = 0; t < num_trees; ++t) {
+      const RootedTree& tree = approximator.tree(static_cast<int>(t));
+      const double* y = y_flat.data() + t * n;
+      const auto root = static_cast<std::size_t>(tree.root);
+      for (std::size_t v = 0; v < n; ++v) {
+        if (v != root) max2 = std::max(max2, std::abs(y[v]));
+      }
+    }
+    double sum2 = 0.0;
+    for (std::size_t t = 0; t < num_trees; ++t) {
+      const RootedTree& tree = approximator.tree(static_cast<int>(t));
+      const double* y = y_flat.data() + t * n;
+      const auto root = static_cast<std::size_t>(tree.root);
+      for (std::size_t v = 0; v < n; ++v) {
+        if (v != root) {
+          sum2 += std::exp(y[v] - max2) + std::exp(-y[v] - max2);
         }
       }
     }
-    const double phi2 = sm2.value();
+    const double phi2 = max2 + std::log(sum2);
     result.potential = phi1 + phi2;
 
     // --- Lines 4-5: rescale until phi >= 16 eps^-1 log n. ---
@@ -121,44 +124,43 @@ AlmostRouteResult almost_route(const Graph& g,
 
     // --- Gradient. ---
     // phi_1 part: (e^{y_e - phi1} - e^{-y_e - phi1}) / cap(e).
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      const auto ei = static_cast<std::size_t>(e);
-      const double ye = result.flow[ei] / g.capacity(e);
-      gradient[ei] = (std::exp(ye - phi1) - std::exp(-ye - phi1)) /
-                     g.capacity(e);
+    for (std::size_t e = 0; e < m; ++e) {
+      const double ye = edge_congestion[e];
+      gradient[e] = (std::exp(ye - phi1) - std::exp(-ye - phi1)) / cap[e];
     }
     // phi_2 part via potentials: price of link (v -> parent) in tree t is
     // 2 alpha (e^{y-phi2} - e^{-y-phi2}) / cap_T(link); then
     // dphi2/df_e = pi_v - pi_u for e = (u, v).
-    std::vector<std::vector<double>> price(y.size());
-    for (int t = 0; t < approximator.num_trees(); ++t) {
-      const RootedTree& tree = approximator.tree(t);
-      const auto ti = static_cast<std::size_t>(t);
-      price[ti].assign(n, 0.0);
-      for (NodeId v = 0; v < tree.num_nodes(); ++v) {
-        if (v == tree.root) continue;
-        const auto vi = static_cast<std::size_t>(v);
-        const double yv = y[ti][vi];
-        price[ti][vi] = 2.0 * alpha *
-                        (std::exp(yv - phi2) - std::exp(-yv - phi2)) /
-                        tree.parent_cap[vi];
+    price_flat.resize(num_trees * n);
+    for (std::size_t t = 0; t < num_trees; ++t) {
+      const RootedTree& tree = approximator.tree(static_cast<int>(t));
+      const double* y = y_flat.data() + t * n;
+      double* price = price_flat.data() + t * n;
+      const auto root = static_cast<std::size_t>(tree.root);
+      for (std::size_t v = 0; v < n; ++v) {
+        if (v == root) {
+          price[v] = 0.0;
+          continue;
+        }
+        const double yv = y[v];
+        price[v] = 2.0 * alpha *
+                   (std::exp(yv - phi2) - std::exp(-yv - phi2)) /
+                   tree.parent_cap[v];
       }
     }
-    const std::vector<double> pi = approximator.potentials(price);
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      const EdgeEndpoints ep = g.endpoints(e);
+    approximator.potentials_into(price_flat, pi, tree_workspace);
+    for (std::size_t e = 0; e < m; ++e) {
       // r = b - Bf loses flow that leaves u and gains at v; the sign
       // works out to pi_u - pi_v for flow oriented u -> v:
       // pushing on e reduces residual demand at u and raises it at v.
-      gradient[static_cast<std::size_t>(e)] +=
-          pi[static_cast<std::size_t>(ep.v)] -
-          pi[static_cast<std::size_t>(ep.u)];
+      gradient[e] += pi[static_cast<std::size_t>(eps_arr[e].v)] -
+                     pi[static_cast<std::size_t>(eps_arr[e].u)];
     }
 
     // --- Lines 6-11: step or terminate. ---
     double delta = 0.0;
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      delta += g.capacity(e) * std::abs(gradient[static_cast<std::size_t>(e)]);
+    for (std::size_t e = 0; e < m; ++e) {
+      delta += cap[e] * std::abs(gradient[e]);
     }
     result.final_delta = delta;
     if (delta >= eps / 4.0) {
@@ -172,19 +174,17 @@ AlmostRouteResult almost_route(const Graph& g,
             0.75, static_cast<double>(momentum_age) /
                       (static_cast<double>(momentum_age) + 3.0));
         ++momentum_age;
-        for (EdgeId e = 0; e < g.num_edges(); ++e) {
-          const auto ei = static_cast<std::size_t>(e);
-          const double sign = gradient[ei] > 0.0 ? 1.0 : -1.0;
-          const double next = result.flow[ei] - sign * g.capacity(e) * step +
-                              beta * (result.flow[ei] - previous_flow[ei]);
-          previous_flow[ei] = result.flow[ei];
-          result.flow[ei] = next;
+        for (std::size_t e = 0; e < m; ++e) {
+          const double sign = gradient[e] > 0.0 ? 1.0 : -1.0;
+          const double next = result.flow[e] - sign * cap[e] * step +
+                              beta * (result.flow[e] - previous_flow[e]);
+          previous_flow[e] = result.flow[e];
+          result.flow[e] = next;
         }
       } else {
-        for (EdgeId e = 0; e < g.num_edges(); ++e) {
-          const auto ei = static_cast<std::size_t>(e);
-          const double sign = gradient[ei] > 0.0 ? 1.0 : -1.0;
-          result.flow[ei] -= sign * g.capacity(e) * step;
+        for (std::size_t e = 0; e < m; ++e) {
+          const double sign = gradient[e] > 0.0 ? 1.0 : -1.0;
+          result.flow[e] -= sign * cap[e] * step;
         }
       }
     } else {
@@ -198,6 +198,14 @@ AlmostRouteResult almost_route(const Graph& g,
   const double unscale = 1.0 / (kb * kf);
   for (double& f : result.flow) f *= unscale;
   return result;
+}
+
+AlmostRouteResult almost_route(const Graph& g,
+                               const CongestionApproximator& approximator,
+                               const std::vector<double>& demand,
+                               const AlmostRouteOptions& options) {
+  const CsrGraph csr(g);  // non-owning transient view
+  return almost_route(csr, approximator, demand, options);
 }
 
 }  // namespace dmf

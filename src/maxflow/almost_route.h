@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "capprox/approximator.h"
+#include "graph/csr_graph.h"
 #include "graph/graph.h"
 
 namespace dmf {
@@ -57,6 +58,16 @@ struct AlmostRouteResult {
   double rounds = 0.0;
 };
 
+// The core implementation runs on the flat CSR snapshot view — the
+// gradient sweeps index the packed capacity/endpoint arrays directly.
+AlmostRouteResult almost_route(const CsrGraph& g,
+                               const CongestionApproximator& approximator,
+                               const std::vector<double>& demand,
+                               const AlmostRouteOptions& options);
+
+// Convenience shim for callers holding only a Graph: packs a transient
+// CSR view (O(n + m), dwarfed by the descent) and delegates. Identical
+// results — CSR rows preserve the adjacency order.
 AlmostRouteResult almost_route(const Graph& g,
                                const CongestionApproximator& approximator,
                                const std::vector<double>& demand,

@@ -23,32 +23,42 @@ SuperTerminalGraph build_super_terminal_graph(
     DMF_REQUIRE(!is_source[static_cast<std::size_t>(t)],
                 "super_terminal_graph: terminal sets must be disjoint");
   }
+  // Weighted degrees via one flat edge scan instead of per-terminal
+  // adjacency walks. Per node the incident capacities accumulate in
+  // edge-id order — the same order Graph::weighted_degree adds them, so
+  // the virtual-edge capacities are bitwise unchanged.
+  const std::vector<EdgeEndpoints>& eps = g.edge_endpoints();
+  const std::vector<double>& caps = g.capacities();
+  std::vector<double> weighted(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  for (std::size_t e = 0; e < eps.size(); ++e) {
+    weighted[static_cast<std::size_t>(eps[e].u)] += caps[e];
+    weighted[static_cast<std::size_t>(eps[e].v)] += caps[e];
+  }
+
   // A degree-0 terminal used to get a 1e-9-capacity virtual edge, turning
   // the whole query into a meaningless near-zero answer; reject instead.
-  for (const NodeId v : sources) {
-    DMF_REQUIRE(g.weighted_degree(v) > 0.0,
-                "super_terminal_graph: isolated terminal (node " +
-                    std::to_string(v) + " has no incident capacity)");
-  }
-  for (const NodeId v : sinks) {
-    DMF_REQUIRE(g.weighted_degree(v) > 0.0,
-                "super_terminal_graph: isolated terminal (node " +
-                    std::to_string(v) + " has no incident capacity)");
+  for (const std::vector<NodeId>* set : {&sources, &sinks}) {
+    for (const NodeId v : *set) {
+      DMF_REQUIRE(weighted[static_cast<std::size_t>(v)] > 0.0,
+                  "super_terminal_graph: isolated terminal (node " +
+                      std::to_string(v) + " has no incident capacity)");
+    }
   }
 
   SuperTerminalGraph out;
   out.graph = Graph(g.num_nodes() + 2);
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const EdgeEndpoints ep = g.endpoints(e);
-    out.graph.add_edge(ep.u, ep.v, g.capacity(e));
+  for (std::size_t e = 0; e < eps.size(); ++e) {
+    out.graph.add_edge(eps[e].u, eps[e].v, caps[e]);
   }
   out.super_source = g.num_nodes();
   out.super_sink = g.num_nodes() + 1;
   for (const NodeId s : sources) {
-    out.graph.add_edge(out.super_source, s, g.weighted_degree(s));
+    out.graph.add_edge(out.super_source, s,
+                       weighted[static_cast<std::size_t>(s)]);
   }
   for (const NodeId t : sinks) {
-    out.graph.add_edge(t, out.super_sink, g.weighted_degree(t));
+    out.graph.add_edge(t, out.super_sink,
+                       weighted[static_cast<std::size_t>(t)]);
   }
   return out;
 }

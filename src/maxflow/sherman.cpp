@@ -21,12 +21,21 @@ ShermanHierarchy::ShermanHierarchy(const Graph& g,
 
 ShermanHierarchy::ShermanHierarchy(std::shared_ptr<const Graph> graph,
                                    const ShermanOptions& options, Rng& rng,
-                                   GraphVersion graph_version)
-    : graph_(std::move(graph)), graph_version_(graph_version) {
+                                   GraphVersion graph_version,
+                                   std::shared_ptr<const CsrGraph> csr)
+    : graph_(std::move(graph)),
+      csr_(std::move(csr)),
+      graph_version_(graph_version) {
   DMF_REQUIRE(graph_ != nullptr, "ShermanHierarchy: null graph");
+  if (csr_ == nullptr) {
+    csr_ = std::make_shared<const CsrGraph>(graph_);
+  } else {
+    DMF_REQUIRE(&csr_->graph() == graph_.get(),
+                "ShermanHierarchy: csr does not view this graph");
+  }
   const Graph& g = *graph_;
   DMF_REQUIRE(g.num_nodes() >= 2, "ShermanHierarchy: need >= 2 nodes");
-  DMF_REQUIRE(is_connected(g), "ShermanHierarchy: graph must be connected");
+  DMF_REQUIRE(is_connected(*csr_), "ShermanHierarchy: graph must be connected");
   const int num_trees =
       options.num_trees > 0
           ? options.num_trees
@@ -56,6 +65,10 @@ ShermanHierarchy::ShermanHierarchy(std::shared_ptr<const Graph> graph,
   double mst_rounds = 0.0;
   mwst_ = boruvka_max_weight_tree(g, 0, &mst_rounds);
   build_rounds_ += mst_rounds;
+  // Queries charge O(D) scalar rounds via this height; it never changes
+  // after the snapshot freezes, so pay the BFS once here instead of per
+  // route() call.
+  bfs_height_ = build_bfs_tree(*csr_, 0).height;
 }
 
 ShermanSolver::ShermanSolver(const Graph& g, const ShermanOptions& options,
@@ -72,7 +85,7 @@ ShermanSolver::ShermanSolver(std::shared_ptr<const ShermanHierarchy> hierarchy,
 }
 
 RouteResult ShermanSolver::route(const std::vector<double>& demand) const {
-  const Graph& g = *graph_;
+  const CsrGraph& g = hierarchy_->csr();
   const auto n = static_cast<std::size_t>(g.num_nodes());
   const auto m = static_cast<std::size_t>(g.num_edges());
   DMF_REQUIRE(demand.size() == n, "route: demand size mismatch");
@@ -121,7 +134,7 @@ RouteResult ShermanSolver::route(const std::vector<double>& demand) const {
       route_demand_on_spanning_tree(g, hierarchy_->mwst(), residual);
   for (std::size_t e = 0; e < m; ++e) result.flow[e] += tree_flow[e];
   const congest::CostModel cost{.n = static_cast<int>(n),
-                                .diameter = build_bfs_tree(g, 0).height};
+                                .diameter = hierarchy_->bfs_height()};
   result.rounds += cost.pipelined(cost.sqrt_n());  // Lemma 9.1 accounting
   result.congestion = max_congestion(g, result.flow);
   return result;
@@ -255,11 +268,14 @@ ShermanSolver::ApproxMinCut ShermanSolver::approx_min_cut(NodeId s,
     const bool in = inside[static_cast<std::size_t>(v)] != 0;
     cut.source_side[static_cast<std::size_t>(v)] = (in == s_inside) ? 1 : 0;
   }
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const EdgeEndpoints ep = g.endpoints(e);
-    if (cut.source_side[static_cast<std::size_t>(ep.u)] !=
-        cut.source_side[static_cast<std::size_t>(ep.v)]) {
-      cut.capacity += g.capacity(e);
+  const CsrGraph& csr = hierarchy_->csr();
+  const EdgeEndpoints* eps = csr.endpoints_data();
+  const double* cap = csr.capacities_data();
+  const auto m = static_cast<std::size_t>(csr.num_edges());
+  for (std::size_t e = 0; e < m; ++e) {
+    if (cut.source_side[static_cast<std::size_t>(eps[e].u)] !=
+        cut.source_side[static_cast<std::size_t>(eps[e].v)]) {
+      cut.capacity += cap[e];
     }
   }
   return cut;

@@ -19,6 +19,7 @@
 
 #include "capprox/approximator.h"
 #include "capprox/hierarchy.h"
+#include "graph/csr_graph.h"
 #include "graph/graph.h"
 #include "maxflow/almost_route.h"
 
@@ -76,9 +77,12 @@ class ShermanHierarchy {
   // graph_version tags which GraphStore snapshot the hierarchy was built
   // from (0 for callers without a store): the FlowEngine uses it to keep
   // queries and derived caches from ever mixing graph generations.
+  // `csr` is the snapshot's packed view when the caller already has one
+  // (GraphStore attaches it at publish time); pass null to pack here.
   ShermanHierarchy(std::shared_ptr<const Graph> graph,
                    const ShermanOptions& options, Rng& rng,
-                   GraphVersion graph_version = 0);
+                   GraphVersion graph_version = 0,
+                   std::shared_ptr<const CsrGraph> csr = nullptr);
 
   // Non-owning view for stack-local graphs; the caller guarantees the
   // graph outlives the hierarchy.
@@ -86,6 +90,8 @@ class ShermanHierarchy {
                    GraphVersion graph_version = 0);
 
   [[nodiscard]] const Graph& graph() const { return *graph_; }
+  // The flat CSR view every query traversal runs on.
+  [[nodiscard]] const CsrGraph& csr() const { return *csr_; }
   // The snapshot version this hierarchy answers for; a version tag only,
   // it never influences the sampled state.
   [[nodiscard]] GraphVersion graph_version() const { return graph_version_; }
@@ -99,12 +105,18 @@ class ShermanHierarchy {
   [[nodiscard]] double alpha() const { return alpha_; }
   [[nodiscard]] double build_rounds() const { return build_rounds_; }
 
+  // BFS height from node 0 (the CONGEST diameter proxy every route()
+  // charges); precomputed once — it is a pure function of the graph.
+  [[nodiscard]] int bfs_height() const { return bfs_height_; }
+
  private:
   std::shared_ptr<const Graph> graph_;  // null deleter in the view form
+  std::shared_ptr<const CsrGraph> csr_;
   std::unique_ptr<const CongestionApproximator> approximator_;
   RootedTree mwst_;  // max-weight spanning tree for residual rerouting
   double alpha_ = 2.0;
   double build_rounds_ = 0.0;
+  int bfs_height_ = 0;
   GraphVersion graph_version_ = 0;
 };
 

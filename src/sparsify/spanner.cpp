@@ -45,7 +45,7 @@ SpannerResult baswana_sen_spanner(const Multigraph& g, int levels, Rng& rng) {
     }
   };
 
-  const auto adjacency = g.build_adjacency();
+  const MultiAdjacency adjacency(g);  // flat, frozen for the whole run
 
   for (int level = 1; level <= levels; ++level) {
     result.rounds += 1.0;
@@ -67,7 +67,7 @@ SpannerResult baswana_sen_spanner(const Multigraph& g, int levels, Rng& rng) {
       // v's cluster died: find the lightest edge to every adjacent
       // cluster, and the lightest edge into a *sampled* cluster.
       std::map<NodeId, std::pair<EdgeKey, std::size_t>> lightest;
-      for (const auto& [to, idx] : adjacency[vi]) {
+      for (const auto& [to, idx] : adjacency.row(v)) {
         const NodeId c = cluster[static_cast<std::size_t>(to)];
         if (c == kInvalidNode || c == own) continue;
         const EdgeKey key{g.edge(idx).length, g.edge(idx).tag};
@@ -116,7 +116,7 @@ SpannerResult baswana_sen_spanner(const Multigraph& g, int levels, Rng& rng) {
   for (NodeId v = 0; v < n; ++v) {
     const auto vi = static_cast<std::size_t>(v);
     std::map<NodeId, std::pair<EdgeKey, std::size_t>> lightest;
-    for (const auto& [to, idx] : adjacency[vi]) {
+    for (const auto& [to, idx] : adjacency.row(v)) {
       const NodeId c = cluster[static_cast<std::size_t>(to)];
       const NodeId own = cluster[vi];
       if (c == kInvalidNode || (own != kInvalidNode && c == own)) continue;

@@ -15,8 +15,8 @@ SparsifyResult sparsify(const Multigraph& g, const SparsifierOptions& options,
 
   int bundle = options.bundle_size;
   if (bundle <= 0) {
-    bundle = 3 * std::max(1, static_cast<int>(std::ceil(std::log2(
-                                 static_cast<double>(std::max<NodeId>(2, n))))));
+    const auto floor_n = static_cast<double>(std::max<NodeId>(2, n));
+    bundle = 3 * std::max(1, static_cast<int>(std::ceil(std::log2(floor_n))));
   }
   double target_degree = options.target_degree;
   if (target_degree <= 0.0) target_degree = 4.0 * bundle;
@@ -99,7 +99,7 @@ std::vector<char> orient_low_outdegree(const Multigraph& g) {
   const double avg_degree =
       2.0 * static_cast<double>(g.num_edges()) /
       static_cast<double>(std::max<NodeId>(1, g.num_nodes()));
-  const auto adjacency = g.build_adjacency();
+  const MultiAdjacency adjacency(g);
   std::vector<char> halted(nn, 0);
 
   const int rounds = std::max(
@@ -111,7 +111,7 @@ std::vector<char> orient_low_outdegree(const Multigraph& g) {
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       if (halted[static_cast<std::size_t>(v)]) continue;
       std::size_t unoriented = 0;
-      for (const auto& [to, idx] : adjacency[static_cast<std::size_t>(v)]) {
+      for (const auto& [to, idx] : adjacency.row(v)) {
         (void)to;
         if (!oriented[idx]) ++unoriented;
       }
@@ -120,7 +120,7 @@ std::vector<char> orient_low_outdegree(const Multigraph& g) {
       }
     }
     for (const NodeId v : claim_order) {
-      for (const auto& [to, idx] : adjacency[static_cast<std::size_t>(v)]) {
+      for (const auto& [to, idx] : adjacency.row(v)) {
         (void)to;
         if (oriented[idx]) continue;
         oriented[idx] = 1;

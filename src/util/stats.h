@@ -54,6 +54,8 @@ inline double quantile(std::vector<double> xs, double q) {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
-inline double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
+inline double median(std::vector<double> xs) {
+  return quantile(std::move(xs), 0.5);
+}
 
 }  // namespace dmf

@@ -160,7 +160,8 @@ TEST(Akpw, ProducesSpanningTree) {
     const std::set<std::size_t> distinct(tree.tree_edges.begin(),
                                          tree.tree_edges.end());
     EXPECT_EQ(distinct.size(), 49u);
-    const RootedTree rooted = tree_from_multigraph_edges(mg, tree.tree_edges, 0);
+    const RootedTree rooted =
+        tree_from_multigraph_edges(mg, tree.tree_edges, 0);
     rooted.validate();
   }
 }

@@ -184,7 +184,8 @@ TEST(WorkerPool, ParkedTaskCancelAndFail) {
   WorkerPool pool(1);
   std::atomic<int> cancelled_code{-1};
   const std::uint64_t doomed = pool.submit_parked(
-      0, [] {}, [&](ErrorCode code) { cancelled_code = static_cast<int>(code); });
+      0, [] {},
+      [&](ErrorCode code) { cancelled_code = static_cast<int>(code); });
   EXPECT_TRUE(pool.cancel(doomed));
   EXPECT_EQ(cancelled_code.load(), static_cast<int>(ErrorCode::kCancelled));
   EXPECT_FALSE(pool.release(doomed));  // gone
