@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
 """Benchmark regression gate.
 
-Compares the JSON artifacts a CI run just produced (BENCH_e13.json,
-BENCH_e14.json) against the committed reference artifacts in
-bench/baselines/ and fails when throughput regresses beyond the
-threshold:
+Compares the JSON artifacts a CI run just produced (BENCH_e1.json,
+BENCH_e13.json, BENCH_e14.json) against the committed reference
+artifacts in bench/baselines/ and fails when throughput regresses
+beyond the threshold:
 
   * every scenario carrying a `throughput_qps` field is compared;
   * a scenario is a REGRESSION when current < (1 - threshold) * baseline
@@ -42,7 +42,7 @@ import json
 import os
 import sys
 
-ARTIFACTS = ["BENCH_e13.json", "BENCH_e14.json"]
+ARTIFACTS = ["BENCH_e1.json", "BENCH_e13.json", "BENCH_e14.json"]
 METRIC = "throughput_qps"
 
 

@@ -30,17 +30,21 @@ class BfsTreeProgram {
 
   explicit BfsTreeProgram(Config config) : config_(config) {}
 
-  void start(NodeContext& ctx) {
+  template <typename Ctx>
+  void start(Ctx& ctx) {
     if (ctx.id() == config_.root) {
       depth_ = 0;
       for (std::size_t p = 0; p < ctx.degree(); ++p) {
         ctx.send(p, Message{0});
       }
       ctx.halt();
+    } else {
+      ctx.sleep();  // woken by the first wavefront message
     }
   }
 
-  void round(NodeContext& ctx) {
+  template <typename Ctx>
+  void round(Ctx& ctx) {
     if (depth_ >= 0) {
       ctx.halt();
       return;
@@ -76,14 +80,17 @@ class BfsTreeProgram {
 // by quiescence.
 class FloodMaxProgram {
  public:
-  void start(NodeContext& ctx) {
+  template <typename Ctx>
+  void start(Ctx& ctx) {
     leader_ = ctx.id();
     for (std::size_t p = 0; p < ctx.degree(); ++p) {
       ctx.send(p, Message{leader_});
     }
+    ctx.sleep();  // wake on incoming candidates only
   }
 
-  void round(NodeContext& ctx) {
+  template <typename Ctx>
+  void round(Ctx& ctx) {
     NodeId best = leader_;
     for (std::size_t p = 0; p < ctx.degree(); ++p) {
       const auto& msg = ctx.received(p);
@@ -97,6 +104,7 @@ class FloodMaxProgram {
         ctx.send(p, Message{leader_});
       }
     }
+    ctx.sleep();
   }
 
   [[nodiscard]] NodeId leader() const { return leader_; }
@@ -126,7 +134,8 @@ class ConvergecastSumProgram {
 
   explicit ConvergecastSumProgram(Config config) : config_(config) {}
 
-  void start(NodeContext& ctx) {
+  template <typename Ctx>
+  void start(Ctx& ctx) {
     if (!config_.is_root) {
       DMF_REQUIRE(config_.parent_port < ctx.degree(),
                   "ConvergecastSum: bad parent port");
@@ -134,7 +143,8 @@ class ConvergecastSumProgram {
     }
   }
 
-  void round(NodeContext& ctx) {
+  template <typename Ctx>
+  void round(Ctx& ctx) {
     for (std::size_t p = 0; p < ctx.degree(); ++p) {
       const auto& msg = ctx.received(p);
       if (!msg.has_value()) continue;
@@ -191,14 +201,16 @@ class PipelinedBroadcastProgram {
   explicit PipelinedBroadcastProgram(Config config)
       : config_(std::move(config)) {}
 
-  void start(NodeContext& ctx) {
+  template <typename Ctx>
+  void start(Ctx& ctx) {
     if (config_.is_root) {
       received_ = config_.tokens;
       send_next(ctx);
     }
   }
 
-  void round(NodeContext& ctx) {
+  template <typename Ctx>
+  void round(Ctx& ctx) {
     if (!config_.is_root && config_.parent_port != kNoPort) {
       const auto& msg = ctx.received(config_.parent_port);
       if (msg.has_value()) {
@@ -213,7 +225,8 @@ class PipelinedBroadcastProgram {
   }
 
  private:
-  void send_next(NodeContext& ctx) {
+  template <typename Ctx>
+  void send_next(Ctx& ctx) {
     if (forwarded_ < received_.size()) {
       for (const std::size_t p : config_.children_ports) {
         ctx.send(p, Message{received_[forwarded_]});

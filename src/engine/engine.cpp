@@ -504,6 +504,39 @@ struct FlowEngine::Core {
     return out;
   }
 
+  Result<CongestRunResult> exec(const CongestQuery& q, const Serving& sv) {
+    using R = Result<CongestRunResult>;
+    const Graph& g = *sv.snapshot.graph;
+    if (!g.is_valid_node(q.source) || !g.is_valid_node(q.sink)) {
+      return R::failure(ErrorCode::kInvalidQuery,
+                        "congest query: invalid terminal id");
+    }
+    if (q.source == q.sink) {
+      return R::failure(ErrorCode::kInvalidQuery,
+                        "congest query: source equals sink");
+    }
+    if (q.max_rounds < 0 || q.threads < 0) {
+      return R::failure(ErrorCode::kInvalidQuery,
+                        "congest query: negative round or thread budget");
+    }
+    R out;
+    try {
+      // Rounds queries carry no accuracy knob; the profile exists so the
+      // registry routes them to a simulator-backed entry.
+      QueryProfile profile{g.num_nodes(), g.num_edges(),
+                           options.sherman.epsilon, false};
+      profile.rounds_query = true;
+      const SolverEntry& entry = registry.select(profile);
+      out.solver = entry.name;
+      out.payload = CongestRunner::run(*sv.snapshot.csr, q);
+    } catch (const std::exception& e) {
+      out.code = classify_error(e);
+      out.message = e.what();
+      out.payload.reset();
+    }
+    return out;
+  }
+
   // --- stats ---
 
   template <typename T>
@@ -538,6 +571,12 @@ struct FlowEngine::Core {
     std::lock_guard<std::mutex> lock(stats_mutex);
     absorb_common(r, stale);
     if (r.ok()) stats.query_rounds_total += r.payload->rounds;
+  }
+
+  void absorb(const Result<CongestRunResult>& r, bool stale) {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    absorb_common(r, stale);
+    if (r.ok()) stats.query_rounds_total += r.payload->stats.rounds;
   }
 
   void absorb_cancelled() {
@@ -691,6 +730,11 @@ MultiTerminalTicket FlowEngine::submit(MultiTerminalQuery query,
       std::move(query), nullptr, opts);
 }
 
+CongestTicket FlowEngine::submit(CongestQuery query, SubmitOptions opts) {
+  return submit_impl<CongestQuery, CongestRunResult>(std::move(query),
+                                                     nullptr, opts);
+}
+
 MaxFlowTicket FlowEngine::submit(
     MaxFlowQuery query,
     std::function<void(const Result<MaxFlowApproxResult>&)> done,
@@ -713,6 +757,14 @@ MultiTerminalTicket FlowEngine::submit(
     SubmitOptions opts) {
   return submit_impl<MultiTerminalQuery, MultiTerminalMaxFlowResult>(
       std::move(query), std::move(done), opts);
+}
+
+CongestTicket FlowEngine::submit(
+    CongestQuery query,
+    std::function<void(const Result<CongestRunResult>&)> done,
+    SubmitOptions opts) {
+  return submit_impl<CongestQuery, CongestRunResult>(std::move(query),
+                                                     std::move(done), opts);
 }
 
 void FlowEngine::wait_all() { pool_->wait_all(); }
@@ -835,8 +887,15 @@ QueryOutcome to_outcome(Result<MultiTerminalMaxFlowResult>&& r) {
   return outcome;
 }
 
-using AnyTicket =
-    std::variant<MaxFlowTicket, RouteTicket, MultiTerminalTicket>;
+QueryOutcome to_outcome(Result<CongestRunResult>&& r) {
+  QueryOutcome outcome;
+  fill_outcome_common(outcome, r);
+  outcome.congest = std::move(r.payload);
+  return outcome;
+}
+
+using AnyTicket = std::variant<MaxFlowTicket, RouteTicket, MultiTerminalTicket,
+                               CongestTicket>;
 
 }  // namespace
 

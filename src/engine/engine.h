@@ -57,6 +57,7 @@
 #include <variant>
 #include <vector>
 
+#include "engine/congest_runner.h"
 #include "engine/registry.h"
 #include "engine/result.h"
 #include "engine/session.h"
@@ -87,7 +88,11 @@ struct MultiTerminalQuery {
   bool exact = false;
 };
 
-using EngineQuery = std::variant<MaxFlowQuery, RouteQuery, MultiTerminalQuery>;
+// CongestQuery (engine/congest_runner.h) is the fourth alternative: a
+// round-complexity measurement on the serving snapshot rather than a
+// flow computation.
+using EngineQuery =
+    std::variant<MaxFlowQuery, RouteQuery, MultiTerminalQuery, CongestQuery>;
 
 // --- typed results -----------------------------------------------------------
 
@@ -95,9 +100,11 @@ using EngineQuery = std::variant<MaxFlowQuery, RouteQuery, MultiTerminalQuery>;
 //   MaxFlowQuery       -> Result<MaxFlowApproxResult>
 //   RouteQuery         -> Result<RouteResult>
 //   MultiTerminalQuery -> Result<MultiTerminalMaxFlowResult>
+//   CongestQuery       -> Result<CongestRunResult>
 using MaxFlowTicket = Ticket<MaxFlowApproxResult>;
 using RouteTicket = Ticket<RouteResult>;
 using MultiTerminalTicket = Ticket<MultiTerminalMaxFlowResult>;
+using CongestTicket = Ticket<CongestRunResult>;
 
 // Compatibility result for the run()/run_batch() shims: the pre-v2
 // untyped bag of optionals, now also carrying the ErrorCode.
@@ -112,6 +119,7 @@ struct QueryOutcome {
   std::optional<MaxFlowApproxResult> max_flow;
   std::optional<RouteResult> route;
   std::optional<MultiTerminalMaxFlowResult> multi_terminal;
+  std::optional<CongestRunResult> congest;
 };
 
 struct EngineStats {
@@ -229,6 +237,8 @@ class FlowEngine {
   [[nodiscard]] RouteTicket submit(RouteQuery query, SubmitOptions opts = {});
   [[nodiscard]] MultiTerminalTicket submit(MultiTerminalQuery query,
                                            SubmitOptions opts = {});
+  [[nodiscard]] CongestTicket submit(CongestQuery query,
+                                     SubmitOptions opts = {});
 
   // Callback form: `done` runs right before the ticket becomes ready —
   // on the worker thread for executed queries, but synchronously on the
@@ -247,6 +257,10 @@ class FlowEngine {
   [[nodiscard]] MultiTerminalTicket submit(
       MultiTerminalQuery query,
       std::function<void(const Result<MultiTerminalMaxFlowResult>&)> done,
+      SubmitOptions opts = {});
+  [[nodiscard]] CongestTicket submit(
+      CongestQuery query,
+      std::function<void(const Result<CongestRunResult>&)> done,
       SubmitOptions opts = {});
 
   // Block until every query submitted so far has resolved. Queries

@@ -34,6 +34,8 @@ SolverRegistry SolverRegistry::standard(NodeId exact_cutoff_nodes,
            p.epsilon <= exact_epsilon;
   };
   SolverRegistry registry;
+  registry.add({"congest-push-relabel", SolverKind::kCongestSim,
+                [](const QueryProfile& p) { return p.rounds_query; }});
   registry.add({"push-relabel-exact", SolverKind::kPushRelabel,
                 [exactish](const QueryProfile& p) {
                   return exactish(p) && p.m >= 8 * std::max<EdgeId>(1, p.n);

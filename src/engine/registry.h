@@ -23,6 +23,7 @@ enum class SolverKind {
   kDinic,        // exact, best on sparse residual graphs
   kPushRelabel,  // exact, preferred on dense instances
   kSherman,      // (1+eps)-approximate on the shared hierarchy
+  kCongestSim,   // message-level CONGEST simulation (round complexity)
 };
 
 // What the registry knows about a query when choosing a solver.
@@ -31,6 +32,9 @@ struct QueryProfile {
   EdgeId m = 0;
   double epsilon = 0.25;    // requested accuracy (<= 0 means "exact")
   bool want_exact = false;  // caller demands an exact answer
+  // The caller asks for measured CONGEST round complexity, not a flow:
+  // only a simulator-backed entry can serve it.
+  bool rounds_query = false;
 };
 
 struct SolverEntry {
@@ -51,6 +55,7 @@ class SolverRegistry {
   [[nodiscard]] const SolverEntry& entry(std::size_t i) const;
 
   // The default policy:
+  //   * the CONGEST simulator for round-complexity queries,
   //   * push-relabel for exact-or-tiny dense instances (m >= 8 n),
   //   * Dinic for every other exact-or-tiny instance,
   //   * Sherman for the rest.

@@ -88,4 +88,36 @@ void CsrGraph::cache_raw_views() {
   edge_ids_ptr_ = half_edges_->edge_ids.data();
 }
 
+std::vector<NodeId> half_edge_sources(const CsrGraph& csr) {
+  const auto n = static_cast<std::size_t>(csr.num_nodes());
+  const std::vector<std::size_t>& off = csr.offsets();
+  std::vector<NodeId> sources(off[n]);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t h = off[v]; h < off[v + 1]; ++h) {
+      sources[h] = static_cast<NodeId>(v);
+    }
+  }
+  return sources;
+}
+
+std::vector<std::size_t> reverse_half_edges(const CsrGraph& csr) {
+  const auto m = static_cast<std::size_t>(csr.num_edges());
+  const std::vector<EdgeId>& edge_ids = csr.edge_id_array();
+  constexpr std::size_t kUnseen = static_cast<std::size_t>(-1);
+  // Each edge id occurs in exactly two slots (no self-loops); pair them.
+  std::vector<std::size_t> first_slot(m, kUnseen);
+  std::vector<std::size_t> reverse(edge_ids.size());
+  for (std::size_t h = 0; h < edge_ids.size(); ++h) {
+    const auto e = static_cast<std::size_t>(edge_ids[h]);
+    if (first_slot[e] == kUnseen) {
+      first_slot[e] = h;
+    } else {
+      reverse[first_slot[e]] = h;
+      reverse[h] = first_slot[e];
+      first_slot[e] = kUnseen;  // tolerate reuse within a row scan
+    }
+  }
+  return reverse;
+}
+
 }  // namespace dmf

@@ -183,4 +183,21 @@ class CsrGraph {
   EdgeId num_edges_ = 0;
 };
 
+// --- shared half-edge helpers ------------------------------------------------
+// A "half-edge slot" is a global index into the CSR's packed arrays:
+// slot h belongs to row v iff offsets[v] <= h < offsets[v+1], and
+// identifies edge edge_ids[h] as seen from v. Several flat subsystems
+// (the CONGEST simulator's message arenas, per-port tables) index their
+// state by slot; these helpers derive the two standard companion tables.
+
+// For every slot, the node owning its row (size 2m). The inverse of the
+// offsets array, materialized for O(1) slot -> node lookups.
+[[nodiscard]] std::vector<NodeId> half_edge_sources(const CsrGraph& csr);
+
+// For every slot, the slot of the SAME edge in the other endpoint's row
+// (size 2m) — the "reverse port" table: a message sent out of slot h
+// arrives in slot reverse[h]. Parallel edges pair up correctly because
+// slots are matched per edge id, not per endpoint.
+[[nodiscard]] std::vector<std::size_t> reverse_half_edges(const CsrGraph& csr);
+
 }  // namespace dmf

@@ -10,6 +10,7 @@
 #include "congest/network.h"
 #include "congest/programs.h"
 #include "congest/push_relabel_dist.h"
+#include "congest/reference_network.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "util/rng.h"
@@ -64,7 +65,9 @@ TEST(Network, QuiescenceStopsRun) {
   Network net(g);
   std::vector<Silent> programs(2);
   const RunStats stats = net.run(programs);
-  EXPECT_LE(stats.rounds, 3);
+  // The two quiet rounds ARE stepped (programs observe their empty
+  // inboxes) and counted before the quiescence stop.
+  EXPECT_EQ(stats.rounds, 2);
   EXPECT_EQ(stats.messages, 0);
 }
 
@@ -96,9 +99,14 @@ TEST(DistributedBfs, RoundsProportionalToEccentricity) {
   Rng rng(107);
   const Graph g = make_path(60, {1, 1}, rng);
   const DistributedBfsResult result = run_distributed_bfs(g, 0);
-  // BFS over a path of 60 nodes: information must travel 59 hops.
-  EXPECT_GE(result.stats.rounds, 59);
-  EXPECT_LE(result.stats.rounds, 59 + 3);
+  // BFS over a path of 60 nodes: information must travel 59 hops. The
+  // last node adopts (and halts) in round 59 and the run ends all-halted
+  // — no quiet rounds are appended.
+  EXPECT_EQ(result.stats.rounds, 59);
+  EXPECT_TRUE(result.stats.all_halted);
+  // On a path every rebroadcast goes strictly down the chain, so no
+  // message ever lands on a halted node.
+  EXPECT_EQ(result.stats.messages_dropped, 0);
 }
 
 TEST(DistributedBfs, ParentPortsFormTree) {
@@ -158,7 +166,10 @@ TEST(ConvergecastSum, RoundsProportionalToDepth) {
   }
   const RunStats stats = net.run(programs);
   EXPECT_NEAR(programs[0].result(), 50.0, 1e-4);
-  EXPECT_LE(stats.rounds, 49 + 4);
+  // Depth-49 chain: the leaf reports in round 1, each level forwards one
+  // round later, the root folds in round 50 and the run ends all-halted.
+  EXPECT_EQ(stats.rounds, 50);
+  EXPECT_TRUE(stats.all_halted);
 }
 
 TEST(PipelinedBroadcast, AllTokensReachAllNodes) {
@@ -217,8 +228,9 @@ TEST(PipelinedBroadcast, PathPipelineBound) {
   const RunStats stats = net.run(programs);
   EXPECT_EQ(programs[n - 1].received_tokens().size(),
             static_cast<std::size_t>(k));
-  EXPECT_LE(stats.rounds, (n - 1) + k + 4);
-  EXPECT_GE(stats.rounds, (n - 1) + k - 1);
+  // Last token: injected in round k - 1, arrives after n - 1 hops; the
+  // run then steps the two default quiet rounds before stopping.
+  EXPECT_EQ(stats.rounds, (n - 1) + (k - 1) + 2);
 }
 
 TEST(DistributedPushRelabel, MatchesDinicOnSmallGraphs) {
@@ -260,6 +272,324 @@ TEST(DistributedPushRelabel, BarbellNeedsManyRounds) {
   // Far more rounds than the diameter (3): this is the phenomenon from
   // §1.2 that motivates the paper.
   EXPECT_GT(result.stats.rounds, 10 * diameter_exact(g));
+}
+
+
+// --- CongestSim v2: message-semantics regressions ---------------------------
+
+TEST(Network, CountsMessagesDroppedAtHaltedNodes) {
+  // Regression: v1 moved messages into halted nodes' inboxes and
+  // reported all_halted = true with no trace of the lost delivery.
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  struct SendAndHalt {
+    void start(NodeContext& ctx) {
+      if (ctx.id() == 0) ctx.send(0, Message{42});
+      ctx.halt();
+    }
+    void round(NodeContext&) {}
+  };
+  Network net(g);
+  std::vector<SendAndHalt> programs(2);
+  const RunStats stats = net.run(programs);
+  EXPECT_TRUE(stats.all_halted);
+  EXPECT_EQ(stats.messages, 1);
+  EXPECT_EQ(stats.messages_dropped, 1);
+}
+
+TEST(Network, RequireDeliveryFailsLoudlyOnDrop) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  struct SendAndHalt {
+    void start(NodeContext& ctx) {
+      if (ctx.id() == 0) ctx.send(0, Message{42});
+      ctx.halt();
+    }
+    void round(NodeContext&) {}
+  };
+  Network net(g);
+  std::vector<SendAndHalt> programs(2);
+  RunOptions options;
+  options.require_delivery = true;
+  EXPECT_THROW(net.run(programs, options), RequirementError);
+}
+
+TEST(Network, QuietRoundsAreSteppedBeforeQuiescenceStop) {
+  // Regression: v1 broke out of the loop BEFORE stepping programs on a
+  // quiet round, so nodes never observed an all-empty-inbox round and
+  // RunStats.rounds undercounted by up to quiet_rounds_to_stop.
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  struct EmptyRoundObserver {
+    int empty_rounds_seen = 0;
+    void start(NodeContext& ctx) {
+      for (std::size_t p = 0; p < ctx.degree(); ++p) {
+        ctx.send(p, Message{1});
+      }
+    }
+    void round(NodeContext& ctx) {
+      bool any = false;
+      for (std::size_t p = 0; p < ctx.degree(); ++p) {
+        if (ctx.received(p).has_value()) any = true;
+      }
+      if (!any) ++empty_rounds_seen;
+    }
+  };
+  Network net(g);
+  std::vector<EmptyRoundObserver> programs(3);
+  RunOptions options;
+  options.quiet_rounds_to_stop = 2;
+  const RunStats stats = net.run(programs, options);
+  // Round 1 delivers the start() messages; rounds 2 and 3 are the quiet
+  // rounds — stepped, observed, and counted.
+  EXPECT_EQ(stats.rounds, 3);
+  for (const auto& program : programs) {
+    EXPECT_EQ(program.empty_rounds_seen, 2);
+  }
+}
+
+TEST(Network, StopPredicateConsultedOnIntervalBoundariesOnly) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  struct Chatter {  // keeps the run alive forever
+    void start(NodeContext& ctx) {
+      if (ctx.id() == 0) ctx.send(0, Message{0});
+    }
+    void round(NodeContext& ctx) {
+      if (ctx.id() == 0) ctx.send(0, Message{ctx.round()});
+    }
+  };
+  Network net(g);
+  std::vector<Chatter> programs(2);
+  RunOptions options;
+  options.max_rounds = 12;
+  options.stop_interval = 3;
+  int stop_calls = 0;
+  const RunStats stats =
+      net.run(programs, options, [&stop_calls]() {
+        ++stop_calls;
+        return false;
+      });
+  EXPECT_EQ(stats.rounds, 12);
+  EXPECT_EQ(stop_calls, 12 / 3);
+
+  std::vector<Chatter> again(2);
+  int calls2 = 0;
+  const RunStats early = net.run(again, options, [&calls2]() {
+    ++calls2;
+    return true;
+  });
+  EXPECT_EQ(early.rounds, 3);  // first boundary, never mid-phase
+  EXPECT_EQ(calls2, 1);
+}
+
+TEST(DistributedPushRelabel, FlowConservationAtEarlyPulseBoundaryStop) {
+  // Regression: a stop honored mid-pulse could leave phase-B flow
+  // updates sent but unapplied, so the two endpoints of an edge would
+  // disagree about its flow. Stops land on pulse boundaries only; at
+  // every such stop the global flow is conserved.
+  Rng rng(163);
+  const Graph g = make_gnp_connected(24, 0.18, {1, 6}, rng);
+  const NodeId source = 0;
+  const NodeId sink = g.num_nodes() - 1;
+  Network net(g);
+  std::vector<PushRelabelProgram> programs;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    programs.emplace_back(PushRelabelProgram::Config{source, sink});
+  }
+  RunOptions options = push_relabel_run_options(g.num_nodes());
+  // Stop as early as the oracle allows: the first boundary where any
+  // excess left the source at all — long before convergence.
+  const auto stop_early = [&programs, source, sink]() {
+    for (std::size_t v = 0; v < programs.size(); ++v) {
+      const auto id = static_cast<NodeId>(v);
+      if (id == source || id == sink) continue;
+      if (programs[v].excess() > 1e-9) return true;
+    }
+    return false;
+  };
+  const RunStats stats = net.run(programs, options, stop_early);
+  EXPECT_GT(stats.rounds, 0);
+  EXPECT_EQ(stats.rounds % 3, 0);  // a pulse boundary
+  // Edge antisymmetry: both endpoints agree on every edge's flow.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const EdgeEndpoints ep = g.endpoints(e);
+    const auto port_of = [&g](NodeId v, EdgeId edge) {
+      const auto& ports = g.neighbors(v);
+      for (std::size_t p = 0; p < ports.size(); ++p) {
+        if (ports[p].edge == edge) return p;
+      }
+      return ports.size();
+    };
+    const std::size_t pu = port_of(ep.u, e);
+    const std::size_t pv = port_of(ep.v, e);
+    ASSERT_LT(pu, g.neighbors(ep.u).size());
+    ASSERT_LT(pv, g.neighbors(ep.v).size());
+    EXPECT_NEAR(programs[static_cast<std::size_t>(ep.u)].port_flow()[pu],
+                -programs[static_cast<std::size_t>(ep.v)].port_flow()[pv],
+                1e-6)
+        << "edge " << e;
+  }
+  // ... hence total excess balances to zero.
+  double total_excess = 0.0;
+  for (const auto& program : programs) total_excess += program.excess();
+  EXPECT_NEAR(total_excess, 0.0, 1e-5);
+}
+
+// --- CongestSim v2: determinism and backend parity --------------------------
+
+TEST(Network, TranscriptsIdenticalAcrossThreadCounts) {
+  Rng rng(167);
+  const Graph g = make_gnp_connected(120, 0.05, {1, 8}, rng);
+  const auto run_flood = [&g](int threads) {
+    Network net(g);
+    std::vector<FloodMaxProgram> programs(
+        static_cast<std::size_t>(g.num_nodes()));
+    RunOptions options;
+    options.threads = threads;
+    options.parallel_grain = 1;  // force the parallel path at this size
+    const RunStats stats = net.run(programs, options);
+    std::vector<NodeId> leaders;
+    for (const auto& p : programs) leaders.push_back(p.leader());
+    return std::make_pair(stats, leaders);
+  };
+  const auto [s1, l1] = run_flood(1);
+  const auto [s2, l2] = run_flood(2);
+  const auto [smax, lmax] = run_flood(0);
+  EXPECT_EQ(s1.rounds, s2.rounds);
+  EXPECT_EQ(s1.messages, s2.messages);
+  EXPECT_EQ(s1.words, s2.words);
+  EXPECT_EQ(s1.transcript_hash, s2.transcript_hash);
+  EXPECT_EQ(s1.transcript_hash, smax.transcript_hash);
+  EXPECT_EQ(l1, l2);
+  EXPECT_EQ(l1, lmax);
+}
+
+TEST(Network, PushRelabelBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(173);
+  const Graph g = make_gnp_connected(48, 0.12, {1, 6}, rng);
+  const NodeId source = 0;
+  const NodeId sink = g.num_nodes() - 1;
+  const auto run_once = [&](int threads) {
+    Network net(g);
+    std::vector<PushRelabelProgram> programs;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      programs.emplace_back(PushRelabelProgram::Config{source, sink});
+    }
+    RunOptions options = push_relabel_run_options(g.num_nodes());
+    options.threads = threads;
+    options.parallel_grain = 1;
+    const RunStats stats = net.run(programs, options);
+    std::vector<std::vector<double>> flows;
+    for (const auto& p : programs) flows.push_back(p.port_flow());
+    return std::make_pair(stats, flows);
+  };
+  const auto [s1, f1] = run_once(1);
+  const auto [s2, f2] = run_once(2);
+  const auto [s0, f0] = run_once(0);
+  EXPECT_EQ(s1.rounds, s2.rounds);
+  EXPECT_EQ(s1.messages, s2.messages);
+  EXPECT_EQ(s1.transcript_hash, s2.transcript_hash);
+  EXPECT_EQ(s1.transcript_hash, s0.transcript_hash);
+  EXPECT_EQ(f1, f2);  // port flows bitwise equal
+  EXPECT_EQ(f1, f0);
+}
+
+TEST(Network, RepeatedRunsOnOneNetworkAreIdentical) {
+  // reset() correctness: a Network is reusable, and each run is bitwise
+  // identical to a run on a fresh Network.
+  Rng rng(179);
+  const Graph g = make_gnp_connected(40, 0.1, {1, 5}, rng);
+  Network net(g);
+  RunStats first;
+  for (int iteration = 0; iteration < 3; ++iteration) {
+    std::vector<BfsTreeProgram> programs;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      programs.emplace_back(BfsTreeProgram::Config{7});
+    }
+    const RunStats stats = net.run(programs);
+    if (iteration == 0) {
+      first = stats;
+    } else {
+      EXPECT_EQ(stats.rounds, first.rounds);
+      EXPECT_EQ(stats.messages, first.messages);
+      EXPECT_EQ(stats.words, first.words);
+      EXPECT_EQ(stats.messages_dropped, first.messages_dropped);
+      EXPECT_EQ(stats.transcript_hash, first.transcript_hash);
+    }
+  }
+  Network fresh(g);
+  std::vector<BfsTreeProgram> programs;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    programs.emplace_back(BfsTreeProgram::Config{7});
+  }
+  EXPECT_EQ(fresh.run(programs).transcript_hash, first.transcript_hash);
+}
+
+TEST(Network, MatchesSequentialReferenceBitwise) {
+  // Differential oracle: the flat arena + worklist simulator and the
+  // ragged sequential reference must agree on RunStats and transcripts
+  // for every program family.
+  Rng rng(181);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = make_gnp_connected(40, 0.12, {1, 6}, rng);
+
+    {  // BFS (halting, drops)
+      Network flat(g);
+      ReferenceNetwork ragged(g);
+      std::vector<BfsTreeProgram> a;
+      std::vector<BfsTreeProgram> b;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        a.emplace_back(BfsTreeProgram::Config{3});
+        b.emplace_back(BfsTreeProgram::Config{3});
+      }
+      const RunStats sa = flat.run(a);
+      const RunStats sb = ragged.run(b);
+      EXPECT_EQ(sa.rounds, sb.rounds);
+      EXPECT_EQ(sa.messages, sb.messages);
+      EXPECT_EQ(sa.words, sb.words);
+      EXPECT_EQ(sa.messages_dropped, sb.messages_dropped);
+      EXPECT_EQ(sa.all_halted, sb.all_halted);
+      EXPECT_EQ(sa.transcript_hash, sb.transcript_hash);
+      for (std::size_t v = 0; v < a.size(); ++v) {
+        EXPECT_EQ(a[v].depth(), b[v].depth());
+        EXPECT_EQ(a[v].parent_port(), b[v].parent_port());
+      }
+    }
+
+    {  // flood-max (sleep/wake, permanent quiescence)
+      Network flat(g);
+      ReferenceNetwork ragged(g);
+      std::vector<FloodMaxProgram> a(static_cast<std::size_t>(g.num_nodes()));
+      std::vector<FloodMaxProgram> b(static_cast<std::size_t>(g.num_nodes()));
+      const RunStats sa = flat.run(a);
+      const RunStats sb = ragged.run(b);
+      EXPECT_EQ(sa.rounds, sb.rounds);
+      EXPECT_EQ(sa.transcript_hash, sb.transcript_hash);
+    }
+
+    {  // push-relabel (pulse phases, worklist churn)
+      const NodeId source = 0;
+      const NodeId sink = g.num_nodes() - 1;
+      Network flat(g);
+      ReferenceNetwork ragged(g);
+      std::vector<PushRelabelProgram> a;
+      std::vector<PushRelabelProgram> b;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        a.emplace_back(PushRelabelProgram::Config{source, sink});
+        b.emplace_back(PushRelabelProgram::Config{source, sink});
+      }
+      const RunOptions options = push_relabel_run_options(g.num_nodes());
+      const RunStats sa = flat.run(a, options);
+      const RunStats sb = ragged.run(b, options);
+      EXPECT_EQ(sa.rounds, sb.rounds);
+      EXPECT_EQ(sa.messages, sb.messages);
+      EXPECT_EQ(sa.transcript_hash, sb.transcript_hash);
+      EXPECT_NEAR(a[static_cast<std::size_t>(sink)].excess(),
+                  b[static_cast<std::size_t>(sink)].excess(), 0.0);
+    }
+  }
 }
 
 TEST(RoundLedger, ChargesAccumulate) {
