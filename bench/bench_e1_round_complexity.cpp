@@ -20,9 +20,11 @@
 // (bitwise) transcripts — and emits the gated rounds/sec record.
 //
 //   ./bench_e1_round_complexity [pushrel_max_n] [compare_n] [seed]
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <vector>
 
 #include "bench_util.h"
 #include "congest/push_relabel_dist.h"
@@ -121,15 +123,28 @@ int main(int argc, char** argv) {
       std::log(pr_rounds.back() / pr_rounds.front()) /
       std::log(pr_sizes.back() / pr_sizes.front());
 
-  print_header("E1b", "pipeline rounds vs n (grid family, seed-averaged)");
-  print_row({"n", "D", "m(trivial)", "pipeline_mean", "D+sqrt(n)"});
+  // A note on dispersion (the former "e1b anomaly"): the route phase's
+  // AlmostRoute gradient-iteration count is heavily conditioned on the
+  // sampled hierarchy — across seeds at the SAME n it swings by up to
+  // ~8x (e.g. 3.5k vs 18.9k iterations at n=64), while the hierarchy
+  // BUILD rounds are smooth and monotone in n. The old seed-averaged
+  // mean over 2-3 trials was therefore dominated by which seeds drew a
+  // well- or ill-conditioned hierarchy, and came out wildly
+  // non-monotone (15.3M -> 7.4M -> 90.3M -> 28.7M -> 100.9M). The
+  // honest estimator is the MEDIAN over more seeds, with the spread
+  // reported alongside and the build rounds (the smooth component)
+  // broken out.
+  print_header("E1b", "pipeline rounds vs n (grid family, seed-median)");
+  print_row({"n", "D", "m(trivial)", "pipeline_med", "min..max",
+             "build_mean", "D+sqrt(n)"});
   std::vector<double> pl_sizes;
   std::vector<double> pl_rounds;
   for (const NodeId n : {64, 144, 256, 400, 576}) {
-    Summary rounds;
+    std::vector<double> rounds;
+    Summary build_rounds;
     int diameter = 0;
     EdgeId m = 0;
-    const int trials = n >= 400 ? 2 : 3;
+    const int trials = n >= 400 ? 3 : 5;
     for (int trial = 0; trial < trials; ++trial) {
       Rng rng(1000 + static_cast<std::uint64_t>(n) +
               static_cast<std::uint64_t>(trial));
@@ -142,17 +157,28 @@ int main(int argc, char** argv) {
       options.num_trees = 6;
       const ShermanSolver solver(g, options, rng);
       const MaxFlowApproxResult flow = solver.max_flow(0, g.num_nodes() - 1);
-      rounds.add(flow.rounds);
+      rounds.push_back(flow.rounds);
+      build_rounds.add(solver.build_rounds());
     }
+    const double rounds_median = median(rounds);
+    const double rounds_min = *std::min_element(rounds.begin(), rounds.end());
+    const double rounds_max = *std::max_element(rounds.begin(), rounds.end());
     pl_sizes.push_back(static_cast<double>(n));
-    pl_rounds.push_back(rounds.mean());
+    pl_rounds.push_back(rounds_median);
     print_row({fmt_int(n), fmt_int(diameter), fmt_int(m),
-               fmt(rounds.mean(), 0),
+               fmt(rounds_median, 0),
+               fmt(rounds_min / 1e6, 1) + ".." + fmt(rounds_max / 1e6, 1) +
+                   "M",
+               fmt(build_rounds.mean(), 0),
                fmt(diameter + std::sqrt(static_cast<double>(n)), 1)});
     artifact.add({{"scenario", "e1b_pipeline_n" + std::to_string(n)},
                   {"n", static_cast<long long>(n)},
                   {"diameter", static_cast<long long>(diameter)},
-                  {"pipeline_rounds_mean", rounds.mean()},
+                  {"trials", trials},
+                  {"pipeline_rounds_median", rounds_median},
+                  {"pipeline_rounds_min", rounds_min},
+                  {"pipeline_rounds_max", rounds_max},
+                  {"build_rounds_mean", build_rounds.mean()},
                   {"d_plus_sqrt_n",
                    diameter + std::sqrt(static_cast<double>(n))}});
   }

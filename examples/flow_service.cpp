@@ -74,10 +74,15 @@ int main(int argc, char** argv) {
         update.set_capacity(e, 1.0 + static_cast<double>(
                                          rng.next_below(16)));
       }
-      const GraphVersion v = engine.apply(update);
-      std::printf("wave %d: applied capacity update -> v%llu (serving v%llu "
-                  "meanwhile)\n",
+      const ApplyResult applied = engine.apply(update);
+      const GraphVersion v = applied.version;
+      std::printf("wave %d: applied capacity update -> v%llu (%s, %d/%d "
+                  "trees dirty; serving v%llu meanwhile)\n",
                   wave, static_cast<unsigned long long>(v),
+                  applied.plan == RebuildPlan::kTreeRepair   ? "tree repair"
+                  : applied.plan == RebuildPlan::kNoOp       ? "no-op"
+                                                             : "full rebuild",
+                  applied.trees_dirty, applied.trees_total,
                   static_cast<unsigned long long>(engine.serving_version()));
       // Read-your-writes: this probe parks until v is servable, then
       // runs against the updated snapshot.
@@ -167,12 +172,16 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.queries_parked),
               static_cast<long long>(stats.queries_cancelled),
               stats.amortized_build_seconds_per_query());
-  std::printf("graph versions: serving v%llu of latest v%llu; rebuilds "
-              "%lld/%lld completed/started in %.3fs total\n",
+  std::printf("graph versions: serving v%llu of latest v%llu; refreshes "
+              "%lld/%lld completed/started in %.3fs total, of which %lld "
+              "repairs (%lld trees resampled, %lld reused)\n",
               static_cast<unsigned long long>(stats.serving_version),
               static_cast<unsigned long long>(stats.latest_version),
-              static_cast<long long>(stats.rebuilds_completed),
-              static_cast<long long>(stats.rebuilds_started),
-              stats.rebuild_seconds_total);
+              static_cast<long long>(stats.rebuild.completed),
+              static_cast<long long>(stats.rebuild.started),
+              stats.rebuild.seconds_total,
+              static_cast<long long>(stats.rebuild.repairs_completed),
+              static_cast<long long>(stats.rebuild.trees_repaired),
+              static_cast<long long>(stats.rebuild.trees_reused));
   return 0;
 }

@@ -9,6 +9,10 @@ beyond the threshold:
   * every scenario carrying a `throughput_qps` field is compared;
   * a scenario is a REGRESSION when current < (1 - threshold) * baseline
     (default threshold 0.25, i.e. a >25% drop);
+  * scenarios whose baseline also carries a `speedup` field (e.g. the
+    e14c repair-vs-rebuild ratio) gate that ratio the same way — unlike
+    absolute qps it is machine-class independent, so it guards wins
+    like "repair is Nx a full rebuild" directly;
   * a baseline scenario absent from the current artifacts is MISSING
     and fails the gate — a bench that silently skips (or renames) a
     scenario must not read as "no regression"; retire it from the
@@ -44,6 +48,7 @@ import sys
 
 ARTIFACTS = ["BENCH_e1.json", "BENCH_e13.json", "BENCH_e14.json"]
 METRIC = "throughput_qps"
+RATIO_METRIC = "speedup"
 
 
 def load_scenarios(path):
@@ -58,17 +63,19 @@ def load_scenarios(path):
 def compare(baseline, current, threshold):
     """Yields (scenario, base_qps, cur_qps, ratio, status) rows."""
     for name, base in sorted(baseline.items()):
-        if METRIC not in base:
-            continue
-        base_qps = float(base[METRIC])
-        cur = current.get(name)
-        if cur is None or METRIC not in cur:
-            yield name, base_qps, None, None, "MISSING"
-            continue
-        cur_qps = float(cur[METRIC])
-        ratio = cur_qps / base_qps if base_qps > 0 else float("inf")
-        status = "OK" if ratio >= 1.0 - threshold else "REGRESSION"
-        yield name, base_qps, cur_qps, ratio, status
+        for metric in (METRIC, RATIO_METRIC):
+            if metric not in base:
+                continue
+            label = name if metric == METRIC else f"{name}[{metric}]"
+            base_val = float(base[metric])
+            cur = current.get(name)
+            if cur is None or metric not in cur:
+                yield label, base_val, None, None, "MISSING"
+                continue
+            cur_val = float(cur[metric])
+            ratio = cur_val / base_val if base_val > 0 else float("inf")
+            status = "OK" if ratio >= 1.0 - threshold else "REGRESSION"
+            yield label, base_val, cur_val, ratio, status
     for name in sorted(set(current) - set(baseline)):
         if METRIC in current[name]:
             yield name, None, float(current[name][METRIC]), None, "NEW"

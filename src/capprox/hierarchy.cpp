@@ -20,12 +20,37 @@ double paper_beta(NodeId n) {
   return std::pow(2.0, std::pow(log_n, 0.75));
 }
 
+double tree_capacity_dither(std::uint64_t seed) {
+  Rng rng(seed);
+  return rng.next_double();
+}
+
+int structural_bucket(double capacity, double octaves, double dither) {
+  DMF_ASSERT(capacity > 0.0 && octaves > 0.0, "structural_bucket: bad input");
+  return static_cast<int>(
+      std::floor(std::log2(capacity) / octaves - dither));
+}
+
+double structural_capacity(double capacity, double octaves, double dither) {
+  if (octaves <= 0.0) return capacity;
+  const int bucket = structural_bucket(capacity, octaves, dither);
+  // Lower bucket boundary; clamped away from zero so downstream
+  // cap > 0 requirements hold even for extreme inputs.
+  return std::max(std::exp2(octaves * (static_cast<double>(bucket) + dither)),
+                  1e-300);
+}
+
 VirtualTreeSample sample_virtual_tree(const Graph& g,
                                       const HierarchyOptions& options,
                                       Rng& rng) {
   const NodeId n = g.num_nodes();
   const auto nn = static_cast<std::size_t>(n);
   DMF_REQUIRE(n >= 1, "sample_virtual_tree: empty graph");
+  // The capacity-bucket dither is ALWAYS the stream's first draw (even
+  // with quantization off), so a tree's dither — and hence its dirty
+  // predicate under repair — is recomputable from its seed alone, and
+  // the stream layout does not depend on the quantization width.
+  const double dither = rng.next_double();
   // Transient flat view for the two base-graph traversals below.
   const CsrGraph csr(g);
   DMF_REQUIRE(is_connected(csr),
@@ -53,8 +78,20 @@ VirtualTreeSample sample_virtual_tree(const Graph& g,
       .diameter = n > 0 ? build_bfs_tree(csr, 0).height : 0};
   const double log_n = cost.log_n();
 
-  // Level state.
+  // Level state. With quantization on, the structural phase sees every
+  // capacity rounded down to this tree's dithered bucket boundary; the
+  // exact capacities return in the final recapacitation below. All
+  // deeper levels derive from this core, so one pass here quantizes the
+  // whole construction.
   Multigraph core = Multigraph::from_graph(g);
+  if (options.capacity_bucket_octaves > 0.0) {
+    for (std::size_t i = 0; i < core.num_edges(); ++i) {
+      MultiEdge& e = core.edge_mutable(i);
+      e.cap = structural_capacity(e.cap, options.capacity_bucket_octaves,
+                                  dither);
+      e.length = 1.0 / e.cap;
+    }
+  }
   std::vector<NodeId> rep(nn);
   std::iota(rep.begin(), rep.end(), 0);
   std::vector<double> cluster_size(nn, 1.0);
@@ -253,7 +290,8 @@ VirtualTreeSample sample_virtual_tree(const Graph& g,
 }
 
 std::vector<VirtualTreeSample> sample_virtual_trees(
-    const Graph& g, int count, const HierarchyOptions& options, Rng& rng) {
+    const Graph& g, int count, const HierarchyOptions& options, Rng& rng,
+    std::vector<std::uint64_t>* seeds_out) {
   if (count <= 0) {
     count = static_cast<int>(
         std::ceil(2.0 * std::log2(static_cast<double>(
@@ -265,6 +303,7 @@ std::vector<VirtualTreeSample> sample_virtual_trees(
   // threads and still produce bit-identical trees in the same order.
   std::vector<std::uint64_t> seeds(static_cast<std::size_t>(count));
   for (std::uint64_t& s : seeds) s = rng() ^ 0x9e3779b97f4a7c15ULL;
+  if (seeds_out != nullptr) *seeds_out = seeds;
 
   std::vector<VirtualTreeSample> samples(static_cast<std::size_t>(count));
   int threads = options.threads;

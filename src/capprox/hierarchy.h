@@ -50,6 +50,19 @@ struct HierarchyOptions {
   double sparsifier_upscale = 1.25;
   // Multiplicative-weights step for the per-level length updates.
   double mwu_eta = 0.5;
+  // Structural capacity quantization width, in octaves (0 = off). When
+  // positive, the *structural* phase of a sample (sparsifier, AKPW
+  // lengths, j-tree loads, MWU) observes each capacity rounded down to
+  // a per-tree dithered power of 2^width instead of its exact value;
+  // the final recapacitation still uses exact capacities, so the
+  // Theorem 8.10 cut property is untouched — only the tree-shape
+  // sampling coarsens (by at most the width factor). This is what makes
+  // incremental hierarchy repair possible: a tree's structure becomes a
+  // pure function of (seed, topology, capacity buckets), so a capacity
+  // change invalidates a tree only when it crosses one of that tree's
+  // bucket boundaries — probability min(1, |log2(new/old)| / width)
+  // under the uniform dither (see ShermanHierarchy::repair).
+  double capacity_bucket_octaves = 0.0;
   // Worker threads for sample_virtual_trees (trees are independent).
   // 1 = sequential, 0 = all hardware threads. Any value produces
   // bit-identical samples: each tree draws from its own RNG stream whose
@@ -71,6 +84,24 @@ struct HierarchyOptions {
 // The paper's beta for a given n (2^(log2 n)^(3/4)).
 double paper_beta(NodeId n);
 
+// --- structural capacity quantization (incremental repair support) ---
+// The dither a tree's RNG stream fixes for its capacity buckets: the
+// stream's first draw. sample_virtual_tree consumes it as its first
+// rng interaction, so a repair can recompute it from the recorded seed
+// alone.
+double tree_capacity_dither(std::uint64_t seed);
+
+// The bucket capacity `capacity` falls into for bucket width
+// `octaves` (> 0) and per-tree dither `dither` in [0, 1): boundaries
+// sit at 2^(octaves * (k + dither)) for integer k.
+int structural_bucket(double capacity, double octaves, double dither);
+
+// The capacity the structural phase observes: the lower boundary of
+// the bucket (identity when octaves <= 0). A pure function of the
+// bucket, so two capacities in the same bucket are structurally
+// indistinguishable.
+double structural_capacity(double capacity, double octaves, double dither);
+
 struct VirtualTreeSample {
   RootedTree tree;  // over V; parent_cap = virtual capacities
   int levels = 0;
@@ -88,8 +119,11 @@ VirtualTreeSample sample_virtual_tree(const Graph& g,
 // ceil(2 * log2 n). Trees are sampled on options.threads workers (OpenMP
 // when available); per-tree RNG streams are seeded from `rng` up front, so
 // the result is identical at every thread count and `rng` advances by
-// exactly `count` draws either way.
+// exactly `count` draws either way. When `seeds_out` is non-null it
+// receives the per-tree stream seeds, the provenance an incremental
+// repair needs to resample individual trees later.
 std::vector<VirtualTreeSample> sample_virtual_trees(
-    const Graph& g, int count, const HierarchyOptions& options, Rng& rng);
+    const Graph& g, int count, const HierarchyOptions& options, Rng& rng,
+    std::vector<std::uint64_t>* seeds_out = nullptr);
 
 }  // namespace dmf

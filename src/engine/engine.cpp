@@ -127,6 +127,17 @@ struct FlowEngine::Core {
           options.sherman.epsilon / 4.0;
       routing_tuned = true;
     }
+    // Engine-level default for structural capacity quantization (the
+    // enabler of incremental hierarchy repair). Applied to
+    // options.sherman — not just build_sherman — so super-terminal
+    // cache builds quantize identically; a fresh engine derives the
+    // same value, preserving the per-version bitwise contract.
+    if (options.capacity_quantization_octaves > 0.0 &&
+        options.sherman.hierarchy.capacity_bucket_octaves ==
+            HierarchyOptions{}.capacity_bucket_octaves) {
+      options.sherman.hierarchy.capacity_bucket_octaves =
+          options.capacity_quantization_octaves;
+    }
     build_sherman = options.sherman;
     if (build_sherman.hierarchy.threads == 1) {
       // The engine parallelizes the build on its own worker budget;
@@ -194,12 +205,31 @@ struct FlowEngine::Core {
     --pending_rebuilds;
   }
 
-  // The background rebuild task body. Builds the hierarchy for the
-  // store's newest snapshot (coalescing any intermediate versions) and
-  // swaps it in atomically; queries keep running against the previous
-  // Serving throughout. Never throws — the pool requires it.
+  // Attempt an incremental repair of `prev`'s hierarchy onto `snap`
+  // (capacity-only transitions). Null when repair does not apply —
+  // the caller falls back to a full build. The repaired hierarchy is
+  // bitwise identical to what build_serving(snap) would construct.
+  [[nodiscard]] std::shared_ptr<const Serving> repair_serving(
+      const Serving& prev, const GraphSnapshot& snap,
+      HierarchyRepairReport* report) const {
+    Rng rng(options.seed);
+    std::shared_ptr<const ShermanHierarchy> hierarchy =
+        ShermanHierarchy::repair(*prev.hierarchy, snap.graph, build_sherman,
+                                 rng, snap.version, snap.csr, report);
+    if (hierarchy == nullptr) return nullptr;
+    return std::make_shared<const Serving>(snap, std::move(hierarchy),
+                                           options.sherman,
+                                           options.hierarchy_cache_capacity);
+  }
+
+  // The background refresh task body. Repairs or rebuilds the hierarchy
+  // for the store's newest snapshot (coalescing any intermediate
+  // versions) and swaps it in atomically; queries keep running against
+  // the previous Serving throughout. Never throws — the pool requires
+  // it.
   void run_rebuild() {
     GraphSnapshot target;
+    std::shared_ptr<const Serving> prev;
     {
       std::lock_guard<std::mutex> lock(version_mutex);
       target = store->snapshot();
@@ -210,15 +240,32 @@ struct FlowEngine::Core {
         return;
       }
       rebuild_target = target.version;
+      prev = serving;
     }
     {
       std::lock_guard<std::mutex> lock(stats_mutex);
-      ++stats.rebuilds_started;
+      ++stats.rebuild.started;
     }
     const auto start = std::chrono::steady_clock::now();
     std::shared_ptr<const Serving> next;
+    HierarchyRepairReport report;
+    // The repair decision compares the serving snapshot to the target
+    // directly (not the batch), so coalesced applies and
+    // repair-after-repair chains fall out naturally. A throwing repair
+    // falls back to a full rebuild inside this same refresh.
     try {
-      next = build_serving(target);
+      next = repair_serving(*prev, target, &report);
+    } catch (...) {
+      next = nullptr;
+    }
+    const bool repaired = next != nullptr;
+    if (report.attempted) {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      ++stats.rebuild.repairs_started;
+      if (!repaired) ++stats.rebuild.repairs_failed;
+    }
+    try {
+      if (!repaired) next = build_serving(target);
     } catch (...) {
       // The snapshot cannot be served (e.g. the batch disconnected the
       // graph). Keep serving the previous snapshot. Queries parked for
@@ -238,11 +285,11 @@ struct FlowEngine::Core {
           doomed = take_parked_up_to(target.version);
         }
       }
-      version_cv.notify_all();
       {
         std::lock_guard<std::mutex> lock(stats_mutex);
-        ++stats.rebuilds_failed;
+        ++stats.rebuild.failed;
       }
+      version_cv.notify_all();
       if (auto p = pool.lock()) {
         for (const std::uint64_t id : doomed) {
           p->fail_parked(id, ErrorCode::kVersionUnavailable);
@@ -263,12 +310,17 @@ struct FlowEngine::Core {
       retired = serving;
       serving = next;
       ready = take_parked_up_to(target.version);
-    }
-    version_cv.notify_all();
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex);
-      ++stats.rebuilds_completed;
-      stats.rebuild_seconds_total += build_seconds;
+      // Stats land before waiters wake: once wait_for_version returns,
+      // stats() already accounts the refresh that released it.
+      std::lock_guard<std::mutex> stats_lock(stats_mutex);
+      ++stats.rebuild.completed;
+      stats.rebuild.seconds_total += build_seconds;
+      if (repaired) {
+        ++stats.rebuild.repairs_completed;
+        stats.rebuild.trees_repaired += report.trees_repaired;
+        stats.rebuild.trees_reused += report.trees_reused;
+        stats.rebuild.repair_seconds_total += build_seconds;
+      }
       stats.num_trees = next->hierarchy->approximator().num_trees();
       stats.alpha = next->hierarchy->alpha();
       // The retired snapshot's cache is dropped with it; fold its
@@ -276,6 +328,7 @@ struct FlowEngine::Core {
       retired_cache_hits += retired->cache->hits();
       retired_cache_misses += retired->cache->misses();
     }
+    version_cv.notify_all();
     if (auto p = pool.lock()) {
       for (const std::uint64_t id : ready) p->release(id);
     }
@@ -601,6 +654,11 @@ struct FlowEngine::Core {
     out.hierarchy_cache_misses += s->cache->misses();
     out.serving_version = s->snapshot.version;
     out.latest_version = store->latest_version();
+    // Deprecated flat aliases mirror the grouped refresh counters.
+    out.rebuilds_started = out.rebuild.started;
+    out.rebuilds_completed = out.rebuild.completed;
+    out.rebuilds_failed = out.rebuild.failed;
+    out.rebuild_seconds_total = out.rebuild.seconds_total;
     return out;
   }
 };
@@ -800,10 +858,33 @@ void FlowEngine::schedule_rebuild() {
   }
 }
 
-GraphVersion FlowEngine::apply(const MutationBatch& batch) {
-  const GraphSnapshot snap = core_->store->apply(batch);
+ApplyResult FlowEngine::apply(const MutationBatch& batch) {
+  auto core = core_;
+  // Grab the serving state BEFORE publishing: the projected plan
+  // describes the transition the refresh will make from what is
+  // serving now to the new snapshot.
+  const std::shared_ptr<const Core::Serving> prev = core->current_serving();
+  const GraphSnapshot snap = core->store->apply(batch);
+  ApplyResult out;
+  out.version = snap.version;
+  out.trees_total =
+      static_cast<int>(prev->hierarchy->tree_records().size());
+  if (batch.classify() == BatchKind::kCapacityOnly) {
+    const HierarchyDirtySet diff =
+        hierarchy_dirty_set(*prev->hierarchy, *snap.graph);
+    // topology_changed here means another writer raced a topology
+    // batch in through the shared store; the plan stays kFullRebuild.
+    if (!diff.topology_changed) {
+      if (diff.num_changed_edges == 0) {
+        out.plan = RebuildPlan::kNoOp;
+      } else {
+        out.plan = RebuildPlan::kTreeRepair;
+        out.trees_dirty = diff.num_dirty;
+      }
+    }
+  }
   schedule_rebuild();
-  return snap.version;
+  return out;
 }
 
 GraphVersion FlowEngine::refresh() {

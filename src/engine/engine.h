@@ -122,6 +122,32 @@ struct QueryOutcome {
   std::optional<CongestRunResult> congest;
 };
 
+// How background hierarchy refreshes behaved, grouped (one refresh =
+// one full rebuild OR one incremental repair; see FlowEngine::apply).
+struct RebuildStats {
+  // A refresh "starts" when a worker begins building toward a newer
+  // snapshot and "completes" when its hierarchy is swapped in.
+  // Coalescing (several applies, one refresh of the newest snapshot)
+  // and lost swap races make started >= completed; failed refreshes
+  // (e.g. a batch that disconnected the graph) are counted separately
+  // and leave the engine serving the previous snapshot.
+  std::int64_t started = 0;
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;
+  double seconds_total = 0.0;  // wall time of all refreshes, repairs incl.
+  // The incremental-repair subset: capacity-only transitions resample
+  // only the trees whose structural capacity view changed and splice
+  // the rest in (bitwise identical to a full rebuild). A repair that
+  // throws is counted failed and falls back to a full rebuild within
+  // the same refresh.
+  std::int64_t repairs_started = 0;
+  std::int64_t repairs_completed = 0;
+  std::int64_t repairs_failed = 0;
+  std::int64_t trees_repaired = 0;  // dirty trees resampled from seeds
+  std::int64_t trees_reused = 0;    // clean trees spliced in
+  double repair_seconds_total = 0.0;
+};
+
 struct EngineStats {
   double build_seconds = 0.0;  // hierarchy construction wall time
   double build_rounds = 0.0;   // accounted CONGEST rounds of the build
@@ -138,16 +164,14 @@ struct EngineStats {
   // --- versioned mutation path ---
   GraphVersion serving_version = 0;  // snapshot the hierarchy serves
   GraphVersion latest_version = 0;   // newest snapshot in the store
-  // A rebuild "starts" when a worker begins sampling a hierarchy for a
-  // newer snapshot and "completes" when that hierarchy is swapped in.
-  // Coalescing (several applies, one rebuild of the newest snapshot) and
-  // lost swap races make started >= completed; failed builds (e.g. a
-  // batch that disconnected the graph) are counted separately and leave
-  // the engine serving the previous snapshot.
-  std::int64_t rebuilds_started = 0;
-  std::int64_t rebuilds_completed = 0;
-  std::int64_t rebuilds_failed = 0;
-  double rebuild_seconds_total = 0.0;  // background build wall time
+  // Background refresh behavior (full rebuilds + incremental repairs).
+  RebuildStats rebuild;
+  // Deprecated aliases of the `rebuild` sub-struct, filled by stats();
+  // pre-v6 readers keep compiling. New code reads `rebuild.*`.
+  std::int64_t rebuilds_started = 0;    // = rebuild.started
+  std::int64_t rebuilds_completed = 0;  // = rebuild.completed
+  std::int64_t rebuilds_failed = 0;     // = rebuild.failed
+  double rebuild_seconds_total = 0.0;   // = rebuild.seconds_total
   // Queries answered from a snapshot older than the store's latest (the
   // price of not stalling during a rebuild).
   std::int64_t queries_served_stale = 0;
@@ -170,6 +194,31 @@ struct EngineStats {
   }
 };
 
+// --- mutation results --------------------------------------------------------
+
+// The refresh strategy the engine projects for a published batch.
+enum class RebuildPlan {
+  kFullRebuild,  // topology changed (or repair is not applicable)
+  kTreeRepair,   // capacity-only: resample dirty trees, splice the rest
+  kNoOp,         // no observable change; previous hierarchy is re-tagged
+};
+
+// What apply() published and what the background refresh toward it is
+// expected to do. The plan is a projection against the serving
+// hierarchy at apply time: the refresh re-decides against whatever is
+// serving when it runs (coalesced batches, repair fallbacks), so treat
+// plan/trees_dirty as advisory and the stats counters as ground truth.
+struct ApplyResult {
+  GraphVersion version = 0;
+  RebuildPlan plan = RebuildPlan::kFullRebuild;
+  int trees_dirty = 0;  // trees the projected repair would resample
+  int trees_total = 0;
+  // Migration shim: pre-v6 apply() returned the bare version, so
+  // existing callers (comparisons, wait_for_version(engine.apply(b)))
+  // keep working unchanged.
+  operator GraphVersion() const { return version; }  // NOLINT
+};
+
 // --- engine ------------------------------------------------------------------
 
 struct EngineOptions {
@@ -186,6 +235,18 @@ struct EngineOptions {
   // queries with the same canonical terminal sets (see hierarchy_cache.h).
   // Disabling rebuilds per query; results are identical either way.
   bool share_multi_terminal_hierarchies = true;
+  // Structural capacity quantization width (octaves) applied to the
+  // hierarchy build when the caller left
+  // sherman.hierarchy.capacity_bucket_octaves at the library default
+  // (off). Quantization makes tree structure insensitive to small
+  // capacity changes, which is what lets a capacity-only apply() repair
+  // the hierarchy incrementally instead of rebuilding it (a changed
+  // edge dirties a tree only with probability ~|log2(new/old)|/width).
+  // The structural phase sees capacities coarsened by at most this
+  // factor of 2^width; exact capacities always return in the final
+  // per-tree recapacitation, so feasibility/cut guarantees are
+  // unaffected. 0 disables (every capacity change rebuilds every tree).
+  double capacity_quantization_octaves = 1.0;
   // Retained cache entries (each owns an augmented graph + hierarchy);
   // least-recently-used eviction beyond this. 0 = unbounded. Eviction
   // never changes results — a re-requested evicted set rebuilds the
@@ -271,13 +332,20 @@ class FlowEngine {
   // --- versioned mutation path ---
   // Publish the batch as the next snapshot (copy-on-write; throws on an
   // invalid op, publishing nothing) and enqueue a background hierarchy
-  // rebuild on the worker pool. Returns the new snapshot's version
-  // immediately — queries keep being served from the previous snapshot
-  // until the rebuilt hierarchy is swapped in atomically. Consecutive
-  // applies coalesce: a rebuild always targets the newest snapshot, so
-  // intermediate versions may never be served (min_version waiters are
-  // satisfied by any version >= theirs).
-  GraphVersion apply(const MutationBatch& batch);
+  // refresh on the worker pool. Returns immediately with the new
+  // snapshot's version plus the projected refresh plan (see
+  // ApplyResult; the result converts implicitly to GraphVersion for
+  // pre-v6 callers) — queries keep being served from the previous
+  // snapshot until the refreshed hierarchy is swapped in atomically.
+  // Capacity-only batches take the incremental repair path: only trees
+  // whose structural capacity view changed are resampled (from their
+  // recorded per-tree seeds), the rest are spliced in, and the result
+  // is bitwise identical to a full rebuild at the same version.
+  // Topology batches — and any repair that fails — take the full
+  // rebuild. Consecutive applies coalesce: a refresh always targets
+  // the newest snapshot, so intermediate versions may never be served
+  // (min_version waiters are satisfied by any version >= theirs).
+  ApplyResult apply(const MutationBatch& batch);
 
   // Enqueue a rebuild toward the store's latest snapshot without
   // mutating (useful when another engine — or direct store access —

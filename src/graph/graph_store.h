@@ -44,6 +44,15 @@ struct GraphSnapshot {
   GraphVersion version = 0;
 };
 
+// What a MutationBatch does to the graph's shape — the engine's repair
+// machinery keys off this: capacity-only batches are candidates for an
+// incremental hierarchy repair, everything else forces a full rebuild.
+enum class BatchKind {
+  kCapacityOnly,  // only set_capacity ops (an empty batch counts)
+  kNodeOnly,      // adds nodes but no edges
+  kTopology,      // adds edges (possibly nodes as well)
+};
+
 // A recorded batch of mutations, applied atomically by
 // GraphStore::apply to produce the next snapshot. Recording validates
 // capacities immediately (finite and positive); node/edge ids are
@@ -82,6 +91,16 @@ class MutationBatch {
 
   [[nodiscard]] bool empty() const { return ops_.empty(); }
   [[nodiscard]] std::size_t size() const { return ops_.size(); }
+
+  // The strongest structural effect any op in the batch has.
+  [[nodiscard]] BatchKind classify() const {
+    bool adds_nodes = false;
+    for (const Op& op : ops_) {
+      if (op.kind == Op::Kind::kAddEdge) return BatchKind::kTopology;
+      if (op.kind == Op::Kind::kAddNodes) adds_nodes = true;
+    }
+    return adds_nodes ? BatchKind::kNodeOnly : BatchKind::kCapacityOnly;
+  }
 
  private:
   friend class GraphStore;

@@ -2,15 +2,35 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <numeric>
+
+#ifdef DMF_HAVE_OPENMP
+#include <omp.h>
+#endif
 
 #include "baselines/tree_routing.h"
 #include "cluster/boruvka.h"
 #include "congest/ledger.h"
 #include "graph/algorithms.h"
 #include "graph/flow.h"
+#include "graph/tree.h"
 
 namespace dmf {
+
+namespace {
+
+// The tree count a build resolves for n nodes (shared with repair,
+// which must re-derive the identical count to line the seed streams
+// up).
+int resolved_num_trees(const ShermanOptions& options, NodeId n) {
+  return options.num_trees > 0
+             ? options.num_trees
+             : static_cast<int>(std::ceil(
+                   3.0 * std::log2(static_cast<double>(n))));
+}
+
+}  // namespace
 
 ShermanHierarchy::ShermanHierarchy(const Graph& g,
                                    const ShermanOptions& options, Rng& rng,
@@ -36,17 +56,18 @@ ShermanHierarchy::ShermanHierarchy(std::shared_ptr<const Graph> graph,
   const Graph& g = *graph_;
   DMF_REQUIRE(g.num_nodes() >= 2, "ShermanHierarchy: need >= 2 nodes");
   DMF_REQUIRE(is_connected(*csr_), "ShermanHierarchy: graph must be connected");
-  const int num_trees =
-      options.num_trees > 0
-          ? options.num_trees
-          : static_cast<int>(std::ceil(
-                3.0 * std::log2(static_cast<double>(g.num_nodes()))));
+  const int num_trees = resolved_num_trees(options, g.num_nodes());
+  bucket_octaves_ = options.hierarchy.capacity_bucket_octaves;
+  std::vector<std::uint64_t> seeds;
   std::vector<VirtualTreeSample> samples =
-      sample_virtual_trees(g, num_trees, options.hierarchy, rng);
-  for (const VirtualTreeSample& sample : samples) {
-    build_rounds_ += sample.rounds;
+      sample_virtual_trees(g, num_trees, options.hierarchy, rng, &seeds);
+  tree_records_.resize(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    build_rounds_ += samples[i].rounds;
+    tree_records_[i] = {seeds[i], tree_capacity_dither(seeds[i]),
+                        samples[i].rounds};
   }
-  approximator_ = std::make_unique<const CongestionApproximator>(
+  approximator_ = std::make_shared<const CongestionApproximator>(
       CongestionApproximator::from_samples(std::move(samples)));
   if (options.alpha > 0.0) {
     alpha_ = options.alpha;
@@ -69,6 +90,185 @@ ShermanHierarchy::ShermanHierarchy(std::shared_ptr<const Graph> graph,
   // after the snapshot freezes, so pay the BFS once here instead of per
   // route() call.
   bfs_height_ = build_bfs_tree(*csr_, 0).height;
+}
+
+HierarchyDirtySet hierarchy_dirty_set(const ShermanHierarchy& prev,
+                                      const Graph& next) {
+  HierarchyDirtySet out;
+  const Graph& old_g = prev.graph();
+  const auto trees = prev.tree_records().size();
+  out.dirty.assign(trees, 0);
+  if (next.num_nodes() != old_g.num_nodes() ||
+      next.num_edges() != old_g.num_edges()) {
+    out.topology_changed = true;
+    return out;
+  }
+  const double octaves = prev.capacity_bucket_octaves();
+  for (EdgeId e = 0; e < next.num_edges(); ++e) {
+    const EdgeEndpoints a = old_g.endpoints(e);
+    const EdgeEndpoints b = next.endpoints(e);
+    if (a.u != b.u || a.v != b.v) {  // never under MutationBatch, but cheap
+      out.topology_changed = true;
+      return out;
+    }
+    const double old_cap = old_g.capacity(e);
+    const double new_cap = next.capacity(e);
+    if (old_cap == new_cap) continue;
+    ++out.num_changed_edges;
+    for (std::size_t t = 0; t < trees; ++t) {
+      if (out.dirty[t]) continue;
+      // Without quantization any capacity change is structural; with it,
+      // only a bucket-boundary crossing is.
+      if (octaves <= 0.0 ||
+          structural_bucket(old_cap, octaves, prev.tree_records()[t].dither) !=
+              structural_bucket(new_cap, octaves,
+                                prev.tree_records()[t].dither)) {
+        out.dirty[t] = 1;
+      }
+    }
+  }
+  for (const char d : out.dirty) out.num_dirty += d;
+  return out;
+}
+
+std::shared_ptr<const ShermanHierarchy> ShermanHierarchy::repair(
+    const ShermanHierarchy& prev, std::shared_ptr<const Graph> graph,
+    const ShermanOptions& options, Rng& rng, GraphVersion graph_version,
+    std::shared_ptr<const CsrGraph> csr, HierarchyRepairReport* report) {
+  DMF_REQUIRE(graph != nullptr, "ShermanHierarchy::repair: null graph");
+  const Graph& g = *graph;
+  HierarchyRepairReport local_report;
+  if (report == nullptr) report = &local_report;
+  report->trees_total = static_cast<int>(prev.tree_records().size());
+
+  // Applicability: same topology, same quantization width, and a seed
+  // stream identical to the one a from-scratch build on `rng` would
+  // derive (otherwise the repaired result could not be bitwise equal to
+  // that build).
+  const HierarchyDirtySet diff = hierarchy_dirty_set(prev, g);
+  if (diff.topology_changed) return nullptr;
+  if (options.hierarchy.capacity_bucket_octaves !=
+      prev.capacity_bucket_octaves()) {
+    return nullptr;
+  }
+  const auto count = static_cast<std::size_t>(
+      resolved_num_trees(options, g.num_nodes()));
+  if (count != prev.tree_records().size()) return nullptr;
+  std::vector<std::uint64_t> seeds(count);
+  for (std::uint64_t& s : seeds) s = rng() ^ 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (seeds[i] != prev.tree_records()[i].seed) return nullptr;
+  }
+  report->attempted = true;
+  report->trees_repaired = diff.num_dirty;
+  report->trees_reused = static_cast<int>(count) - diff.num_dirty;
+
+  std::shared_ptr<ShermanHierarchy> out(new ShermanHierarchy());
+  out->graph_ = std::move(graph);
+  out->csr_ = std::move(csr);
+  if (out->csr_ == nullptr) {
+    out->csr_ = std::make_shared<const CsrGraph>(out->graph_);
+  } else {
+    DMF_REQUIRE(&out->csr_->graph() == out->graph_.get(),
+                "ShermanHierarchy::repair: csr does not view this graph");
+  }
+  out->graph_version_ = graph_version;
+  out->bucket_octaves_ = prev.capacity_bucket_octaves();
+  out->tree_records_ = prev.tree_records();
+
+  if (diff.num_changed_edges == 0) {
+    // Identical capacities (an empty or no-op batch): every derived
+    // structure of a from-scratch build would come out identical, so
+    // share the previous one outright and only re-tag the snapshot.
+    out->approximator_ = prev.approximator_;
+    out->mwst_ = prev.mwst_;
+    out->alpha_ = prev.alpha_;
+    out->build_rounds_ = prev.build_rounds_;
+    out->bfs_height_ = prev.bfs_height_;
+    return out;
+  }
+
+  // Dirty trees: full per-tree resample from the recorded stream seed —
+  // exactly what sample_virtual_trees would run for that index. Clean
+  // trees: the structural phase would see bitwise-identical inputs
+  // (same quantized capacities, same stream), so copy its structure and
+  // re-run only the final exact recapacitation on the new capacities
+  // (an incremental parent_cap update would drift by FP association —
+  // the full tree_edge_loads pass is what keeps clean trees bitwise
+  // equal to a from-scratch build). Rounds are structural-phase state:
+  // recorded values are exact for clean trees.
+  const NodeId n = g.num_nodes();
+  std::vector<VirtualTreeSample> samples(count);
+  std::vector<int> dirty_indices;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (diff.dirty[i]) {
+      dirty_indices.push_back(static_cast<int>(i));
+      continue;
+    }
+    VirtualTreeSample& s = samples[i];
+    const RootedTree& prev_tree = prev.approximator().tree(static_cast<int>(i));
+    s.tree.root = prev_tree.root;
+    s.tree.parent = prev_tree.parent;
+    s.tree.parent_edge = prev_tree.parent_edge;
+    s.tree.parent_cap.assign(static_cast<std::size_t>(n), 0.0);
+    const std::vector<double> exact_loads = tree_edge_loads(g, s.tree);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == s.tree.root) continue;
+      s.tree.parent_cap[static_cast<std::size_t>(v)] =
+          std::max(exact_loads[static_cast<std::size_t>(v)], 1e-12);
+    }
+    s.rounds = prev.tree_records()[i].rounds;
+  }
+  const auto resample = [&](int i) {
+    Rng tree_rng(seeds[static_cast<std::size_t>(i)]);
+    samples[static_cast<std::size_t>(i)] =
+        sample_virtual_tree(g, options.hierarchy, tree_rng);
+  };
+  int threads = options.hierarchy.threads;
+#ifdef DMF_HAVE_OPENMP
+  if (threads <= 0) threads = omp_get_max_threads();
+  if (threads > 1 && dirty_indices.size() > 1) {
+    std::exception_ptr error;
+    const int dirty_count = static_cast<int>(dirty_indices.size());
+#pragma omp parallel for schedule(dynamic) num_threads(threads)
+    for (int k = 0; k < dirty_count; ++k) {
+      try {
+        resample(dirty_indices[static_cast<std::size_t>(k)]);
+      } catch (...) {
+#pragma omp critical
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    dirty_indices.clear();
+  }
+#else
+  (void)threads;
+#endif
+  for (const int i : dirty_indices) resample(i);
+
+  // From here the reconstruction mirrors the constructor line by line
+  // (same order, same rng position after the `count` seed draws), so
+  // every member matches a from-scratch build bitwise.
+  out->build_rounds_ = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    out->build_rounds_ += samples[i].rounds;
+    out->tree_records_[i].rounds = samples[i].rounds;
+  }
+  out->approximator_ = std::make_shared<const CongestionApproximator>(
+      CongestionApproximator::from_samples(std::move(samples)));
+  if (options.alpha > 0.0) {
+    out->alpha_ = options.alpha;
+  } else {
+    const AlphaEstimate est = estimate_alpha(g, *out->approximator_,
+                                             options.alpha_samples, rng);
+    out->alpha_ = std::clamp(1.25 * est.alpha, 1.5, 12.0);
+  }
+  double mst_rounds = 0.0;
+  out->mwst_ = boruvka_max_weight_tree(g, 0, &mst_rounds);
+  out->build_rounds_ += mst_rounds;
+  out->bfs_height_ = build_bfs_tree(*out->csr_, 0).height;
+  return out;
 }
 
 ShermanSolver::ShermanSolver(const Graph& g, const ShermanOptions& options,

@@ -62,6 +62,43 @@ struct MaxFlowApproxResult {
   bool converged = true;
 };
 
+// Per-tree build provenance, recorded at construction time so a later
+// incremental repair can reconstruct any tree without replaying the
+// whole build: the tree's RNG stream seed, the capacity-bucket dither
+// that seed fixes (its stream's first draw), and the CONGEST rounds
+// the sample accounted.
+struct TreeBuildRecord {
+  std::uint64_t seed = 0;
+  double dither = 0.0;
+  double rounds = 0.0;
+};
+
+// What a ShermanHierarchy::repair call did. attempted flips to true
+// once the applicability checks pass (so a subsequent exception counts
+// as a failed repair, not an inapplicable one).
+struct HierarchyRepairReport {
+  bool attempted = false;
+  int trees_total = 0;
+  int trees_repaired = 0;  // dirty: resampled from their recorded seeds
+  int trees_reused = 0;    // clean: structure spliced, loads recomputed
+};
+
+// Which trees of `prev` a transition to graph `next` invalidates.
+// topology_changed covers node/edge additions (repair never applies);
+// otherwise a tree is dirty iff some changed capacity crossed one of
+// that tree's structural bucket boundaries (always, when the hierarchy
+// was built without quantization).
+struct HierarchyDirtySet {
+  bool topology_changed = false;
+  int num_changed_edges = 0;
+  int num_dirty = 0;
+  std::vector<char> dirty;  // one flag per tree
+};
+
+class ShermanHierarchy;
+HierarchyDirtySet hierarchy_dirty_set(const ShermanHierarchy& prev,
+                                      const Graph& next);
+
 // The expensive, query-independent half of the solver: the sampled
 // congestion-approximator hierarchy, the empirical alpha, and the
 // max-weight spanning tree for the Lemma 9.1 rerouting. Built once per
@@ -89,6 +126,26 @@ class ShermanHierarchy {
   ShermanHierarchy(const Graph& g, const ShermanOptions& options, Rng& rng,
                    GraphVersion graph_version = 0);
 
+  // Incremental repair: reconstruct the hierarchy a from-scratch build
+  // on `graph` would produce — bitwise — by resampling only the trees
+  // whose structural capacity view changed relative to `prev`, and
+  // splicing the untouched trees' structure in (their exact
+  // recapacitation is re-run on the new capacities; their recorded
+  // rounds are reused). `options` must equal the options `prev` was
+  // built with and `rng` must be positioned exactly as a from-scratch
+  // build's would be (the engine passes a fresh engine-seeded
+  // generator). Returns null — with the generator partially advanced,
+  // so the caller must fall back to a full rebuild with a fresh rng —
+  // when repair does not apply: topology changed, tree count changed
+  // with n, a different seed stream, or a different quantization
+  // width. When every capacity is unchanged, the previous
+  // approximator/alpha/MWST are shared outright (the kNoOp fast path).
+  static std::shared_ptr<const ShermanHierarchy> repair(
+      const ShermanHierarchy& prev, std::shared_ptr<const Graph> graph,
+      const ShermanOptions& options, Rng& rng, GraphVersion graph_version,
+      std::shared_ptr<const CsrGraph> csr = nullptr,
+      HierarchyRepairReport* report = nullptr);
+
   [[nodiscard]] const Graph& graph() const { return *graph_; }
   // The flat CSR view every query traversal runs on.
   [[nodiscard]] const CsrGraph& csr() const { return *csr_; }
@@ -109,11 +166,26 @@ class ShermanHierarchy {
   // charges); precomputed once — it is a pure function of the graph.
   [[nodiscard]] int bfs_height() const { return bfs_height_; }
 
+  // Per-tree repair provenance (one record per sampled tree) and the
+  // structural quantization width the build used.
+  [[nodiscard]] const std::vector<TreeBuildRecord>& tree_records() const {
+    return tree_records_;
+  }
+  [[nodiscard]] double capacity_bucket_octaves() const {
+    return bucket_octaves_;
+  }
+
  private:
+  ShermanHierarchy() = default;  // repair() assembles members directly
+
   std::shared_ptr<const Graph> graph_;  // null deleter in the view form
   std::shared_ptr<const CsrGraph> csr_;
-  std::unique_ptr<const CongestionApproximator> approximator_;
+  // shared (not unique): the kNoOp repair path re-tags a hierarchy for
+  // a new snapshot with identical content and shares the approximator.
+  std::shared_ptr<const CongestionApproximator> approximator_;
   RootedTree mwst_;  // max-weight spanning tree for residual rerouting
+  std::vector<TreeBuildRecord> tree_records_;
+  double bucket_octaves_ = 0.0;
   double alpha_ = 2.0;
   double build_rounds_ = 0.0;
   int bfs_height_ = 0;

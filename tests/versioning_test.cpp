@@ -72,8 +72,9 @@ TEST(FlowEngineVersioning, ApplyServesStaleThenSwapsIn) {
   EXPECT_EQ(engine.serving_version(), 0u);
   EXPECT_EQ(engine.latest_version(), 0u);
 
-  const GraphVersion v1 = engine.apply(capacity_batch(g));
-  EXPECT_EQ(v1, 1u);
+  const ApplyResult applied = engine.apply(capacity_batch(g));
+  EXPECT_EQ(applied.version, 1u);
+  EXPECT_EQ(applied.plan, RebuildPlan::kTreeRepair);
   EXPECT_EQ(engine.latest_version(), 1u);
 
   // Queries submitted while the rebuild may still be in flight resolve
@@ -103,10 +104,10 @@ TEST(FlowEngineVersioning, ApplyServesStaleThenSwapsIn) {
   const EngineStats stats = engine.stats();
   EXPECT_EQ(stats.serving_version, 1u);
   EXPECT_EQ(stats.latest_version, 1u);
-  EXPECT_EQ(stats.rebuilds_started, 1);
-  EXPECT_EQ(stats.rebuilds_completed, 1);
-  EXPECT_EQ(stats.rebuilds_failed, 0);
-  EXPECT_GT(stats.rebuild_seconds_total, 0.0);
+  EXPECT_EQ(stats.rebuild.started, 1);
+  EXPECT_EQ(stats.rebuild.completed, 1);
+  EXPECT_EQ(stats.rebuild.failed, 0);
+  EXPECT_GT(stats.rebuild.seconds_total, 0.0);
 
   // Waiting for a version no pending rebuild can reach reports failure
   // immediately instead of blocking.
@@ -134,7 +135,7 @@ TEST(FlowEngineVersioning, PerVersionDeterminismRegardlessOfRebuildTiming) {
     EXPECT_EQ(idle.value().flow, r0.max_flow.value().flow);
   }
 
-  const GraphVersion v1 = engine_b.apply(capacity_batch(g));
+  const GraphVersion v1 = engine_b.apply(capacity_batch(g)).version;
   ASSERT_EQ(v1, 1u);
   const Reference r1 =
       reference_on(*engine_b.store()->snapshot(1).graph, 1);
@@ -253,7 +254,9 @@ TEST(FlowEngineVersioning, FailedRebuildKeepsServingAndFailsParkedWaiters) {
   // cannot be built, so v1 is published but never becomes servable.
   MutationBatch bad;
   bad.add_nodes(1);
-  EXPECT_EQ(engine.apply(bad), 1u);
+  const ApplyResult bad_applied = engine.apply(bad);
+  EXPECT_EQ(bad_applied.version, 1u);
+  EXPECT_EQ(bad_applied.plan, RebuildPlan::kFullRebuild);
 
   const Result<MaxFlowApproxResult> r = parked.get();
   EXPECT_FALSE(r.ok());
@@ -269,15 +272,16 @@ TEST(FlowEngineVersioning, FailedRebuildKeepsServingAndFailsParkedWaiters) {
   ASSERT_TRUE(still.ok()) << still.message;
   EXPECT_EQ(still.served_version, 0u);
   EngineStats stats = engine.stats();
-  EXPECT_EQ(stats.rebuilds_failed, 1);
-  EXPECT_EQ(stats.rebuilds_completed, 0);
+  EXPECT_EQ(stats.rebuild.failed, 1);
+  EXPECT_EQ(stats.rebuild.completed, 0);
+  EXPECT_EQ(stats.rebuild.repairs_started, 0);
   EXPECT_EQ(stats.serving_version, 0u);
   EXPECT_EQ(stats.latest_version, 1u);
 
   // ...and a batch that restores connectivity becomes servable again.
   MutationBatch fix;
   fix.add_edge(72, 0, 1.0);  // the isolated node got id 72
-  EXPECT_EQ(engine.apply(fix), 2u);
+  EXPECT_EQ(engine.apply(fix).version, 2u);
   ASSERT_TRUE(engine.wait_for_version(2, 120.0));
   const Result<MaxFlowApproxResult> healed =
       engine.submit(MaxFlowQuery{0, 71}).get();
@@ -349,15 +353,15 @@ TEST(FlowEngineVersioning, RollingAppliesConverge) {
   for (int round = 0; round < 5; ++round) {
     MutationBatch batch;
     batch.set_capacity(round, 2.0 + round);
-    last = engine.apply(batch);
+    last = engine.apply(batch);  // ApplyResult -> GraphVersion shim
     (void)engine.submit(MaxFlowQuery{0, 71}).get();
   }
   EXPECT_EQ(last, 5u);
   ASSERT_TRUE(engine.wait_for_version(5, 120.0));
   const EngineStats stats = engine.stats();
   EXPECT_EQ(stats.serving_version, 5u);
-  EXPECT_GE(stats.rebuilds_started, 1);
-  EXPECT_LE(stats.rebuilds_completed, stats.rebuilds_started);
+  EXPECT_GE(stats.rebuild.started, 1);
+  EXPECT_LE(stats.rebuild.completed, stats.rebuild.started);
   // Converged: a fresh engine on the final snapshot agrees bitwise.
   const Result<MaxFlowApproxResult> got =
       engine.submit(MaxFlowQuery{0, 71}).get();
