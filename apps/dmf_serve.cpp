@@ -1,0 +1,142 @@
+// dmf-serve: the network front door for the flow engine.
+//
+// Boots a FlowEngine on a synthetic graph (grid or G(n,p); a real
+// deployment would load one), then serves it over HTTP/1.1 and the
+// binary protocol until SIGTERM/SIGINT, at which point it drains
+// gracefully: new work answers 503, in-flight queries finish and
+// flush, final stats go to stderr, and the process exits 0.
+//
+// Usage:
+//   dmf-serve [--port N] [--binary-port N] [--grid WxH | --gnp N P]
+//             [--trees K] [--threads T] [--max-in-flight N]
+//             [--tenant-qps R] [--deadline-ms D] [--seed S]
+//
+// With --port 0 the kernel picks a port; it is printed on stdout as
+//   dmf-serve listening http=PORT binary=PORT
+// so scripts (the CI smoke step) can scrape it.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "engine/engine.h"
+#include "graph/generators.h"
+#include "serve/serve_app.h"
+#include "util/rng.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void on_signal(int) { g_shutdown = 1; }
+
+double arg_number(int argc, char** argv, int* i, const char* flag) {
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "dmf-serve: %s needs a value\n", flag);
+    std::exit(2);
+  }
+  return std::atof(argv[++*i]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int http_port = 8080;
+  int binary_port = -1;
+  int grid_w = 24;
+  int grid_h = 24;
+  bool use_gnp = false;
+  int gnp_n = 0;
+  double gnp_p = 0.0;
+  int trees = 6;
+  int threads = 0;
+  int max_in_flight = 256;
+  double tenant_qps = 0.0;
+  double deadline_ms = 0.0;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--port") == 0) {
+      http_port = static_cast<int>(arg_number(argc, argv, &i, a));
+    } else if (std::strcmp(a, "--binary-port") == 0) {
+      binary_port = static_cast<int>(arg_number(argc, argv, &i, a));
+    } else if (std::strcmp(a, "--grid") == 0) {
+      if (i + 1 >= argc ||
+          std::sscanf(argv[++i], "%dx%d", &grid_w, &grid_h) != 2) {
+        std::fprintf(stderr, "dmf-serve: --grid needs WxH\n");
+        return 2;
+      }
+    } else if (std::strcmp(a, "--gnp") == 0) {
+      use_gnp = true;
+      gnp_n = static_cast<int>(arg_number(argc, argv, &i, a));
+      gnp_p = arg_number(argc, argv, &i, a);
+    } else if (std::strcmp(a, "--trees") == 0) {
+      trees = static_cast<int>(arg_number(argc, argv, &i, a));
+    } else if (std::strcmp(a, "--threads") == 0) {
+      threads = static_cast<int>(arg_number(argc, argv, &i, a));
+    } else if (std::strcmp(a, "--max-in-flight") == 0) {
+      max_in_flight = static_cast<int>(arg_number(argc, argv, &i, a));
+    } else if (std::strcmp(a, "--tenant-qps") == 0) {
+      tenant_qps = arg_number(argc, argv, &i, a);
+    } else if (std::strcmp(a, "--deadline-ms") == 0) {
+      deadline_ms = arg_number(argc, argv, &i, a);
+    } else if (std::strcmp(a, "--seed") == 0) {
+      seed = static_cast<std::uint64_t>(arg_number(argc, argv, &i, a));
+    } else {
+      std::fprintf(stderr, "dmf-serve: unknown flag %s\n", a);
+      return 2;
+    }
+  }
+
+  dmf::Rng rng(seed);
+  dmf::Graph graph =
+      use_gnp ? dmf::make_gnp_connected(gnp_n, gnp_p, {1, 64}, rng)
+              : dmf::make_grid(grid_w, grid_h, {1, 64}, rng);
+
+  dmf::EngineOptions eopts;
+  eopts.sherman.num_trees = trees;
+  eopts.threads = threads;
+  eopts.seed = seed;
+  dmf::FlowEngine engine(std::move(graph), eopts);
+
+  dmf::serve::ServeAppOptions sopts;
+  sopts.http.http_port = http_port;
+  sopts.http.binary_port = binary_port;
+  sopts.max_in_flight = max_in_flight;
+  sopts.default_quota.tokens_per_second = tenant_qps;
+  sopts.default_deadline_seconds = deadline_ms / 1000.0;
+  dmf::serve::ServeApp app(engine, sopts);
+
+  std::string error;
+  if (!app.start(&error)) {
+    std::fprintf(stderr, "dmf-serve: start failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("dmf-serve listening http=%d binary=%d\n", app.http_port(),
+              app.binary_port());
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  while (g_shutdown == 0) {
+    timespec ts{0, 50 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+
+  std::fprintf(stderr, "dmf-serve: draining\n");
+  app.drain();
+  const dmf::serve::ServeCounters counters = app.counters();
+  const dmf::EngineStats stats = engine.stats();
+  std::fprintf(stderr,
+               "dmf-serve: drained admitted=%lld shed=%lld cancelled=%lld "
+               "queries_served=%lld\n",
+               static_cast<long long>(counters.admitted),
+               static_cast<long long>(counters.shed_in_flight +
+                                      counters.shed_quota),
+               static_cast<long long>(counters.deadline_cancelled),
+               static_cast<long long>(stats.queries_served));
+  return 0;
+}

@@ -1,0 +1,431 @@
+// E15: open-loop latency percentiles and saturation throughput of
+// dmf-serve.
+//
+// Boots a full in-process ServeApp (real sockets, real HTTP) over a
+// FlowEngine and drives it with an OPEN-LOOP load generator: arrivals
+// follow a precomputed Poisson schedule at each offered load and are
+// never gated on completions, so queueing delay past saturation shows
+// up in the tail instead of silently throttling the offered rate
+// (closed-loop generators hide exactly the overload behaviour this
+// bench exists to measure). Latency is measured from the SCHEDULED
+// arrival time to response completion — a request the transport
+// couldn't even start on time counts its backlog.
+//
+// The sweep doubles the offered load until goodput falls clearly below
+// offered (past saturation) and reports per-level p50/p99/p999 plus:
+//   * e15_saturation — max goodput across the sweep (throughput_qps,
+//     gated against the committed baseline);
+//   * e15_tail — p99/p50 at the best-sampled level that kept up with
+//     its offered rate (machine-independent shape metric, gated
+//     lower-is-better).
+// A final phase applies a MutationBatch mid-load and drains the app
+// while requests are still arriving, asserting ZERO admitted queries
+// failed (exit 1 otherwise) — 429/503 sheds are expected, 5xx is not.
+//
+// Usage: bench_e15_latency [seconds_per_level] [workers] [grid_side]
+//                          [trees]
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+#include "graph/generators.h"
+#include "serve/histogram.h"
+#include "serve/serve_app.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using dmf::serve::LatencyHistogram;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Minimal blocking keep-alive HTTP client; reconnects after errors.
+class HttpConn {
+ public:
+  explicit HttpConn(int port) : port_(port) {}
+  ~HttpConn() { reset(); }
+
+  // Returns the HTTP status, or -1 on a transport failure.
+  int post(const std::string& path, const std::string& body) {
+    std::string req = "POST " + path + " HTTP/1.1\r\n";
+    req += "Host: 127.0.0.1\r\n";
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    req += "\r\n";
+    req += body;
+    return roundtrip(req);
+  }
+
+ private:
+  void reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool ensure_connected() {
+    if (fd_ >= 0) return true;
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(static_cast<std::uint16_t>(port_));
+    ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      reset();
+      return false;
+    }
+    return true;
+  }
+
+  int roundtrip(const std::string& request) {
+    if (!ensure_connected()) return -1;
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+      const ssize_t n = ::send(fd_, request.data() + sent,
+                               request.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        reset();
+        return -1;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    // Read headers.
+    std::string buf;
+    std::size_t header_end = std::string::npos;
+    char chunk[8192];
+    while (header_end == std::string::npos) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        reset();
+        return -1;
+      }
+      buf.append(chunk, static_cast<std::size_t>(n));
+      header_end = buf.find("\r\n\r\n");
+      if (buf.size() > (1u << 20)) {
+        reset();
+        return -1;
+      }
+    }
+    int status = -1;
+    std::sscanf(buf.c_str(), "HTTP/1.1 %d", &status);
+    std::size_t content_length = 0;
+    {
+      // Case-insensitive search is unnecessary: the server emits
+      // exactly "Content-Length".
+      const std::size_t cl = buf.find("Content-Length: ");
+      if (cl == std::string::npos || cl > header_end) {
+        reset();
+        return -1;
+      }
+      content_length = std::strtoull(buf.c_str() + cl + 16, nullptr, 10);
+    }
+    const bool close_after = buf.find("Connection: close") < header_end;
+    std::size_t have = buf.size() - (header_end + 4);
+    while (have < content_length) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        reset();
+        return -1;
+      }
+      have += static_cast<std::size_t>(n);
+    }
+    if (close_after) reset();
+    return status;
+  }
+
+  int port_;
+  int fd_ = -1;
+};
+
+struct LevelResult {
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;  // goodput: 200s per wall second
+  int ok = 0;
+  int shed = 0;      // 429
+  int failed = 0;    // 5xx (incl. 503) — unexpected outside drain
+  int transport = 0; // connect/read errors
+  LatencyHistogram hist;
+};
+
+std::string query_body(std::mt19937_64& gen, int num_nodes) {
+  std::uniform_int_distribution<int> node(0, num_nodes - 1);
+  const int s = node(gen);
+  int t = node(gen);
+  while (t == s) t = node(gen);
+  return "{\"kind\":\"max_flow\",\"s\":" + std::to_string(s) +
+         ",\"t\":" + std::to_string(t) + ",\"epsilon\":0.25}";
+}
+
+LevelResult run_level(int port, double offered_qps, double seconds,
+                      int workers, int num_nodes, std::uint64_t seed) {
+  const int total = std::min(
+      static_cast<int>(offered_qps * seconds), 20000);
+  std::vector<double> arrivals(static_cast<std::size_t>(total));
+  {
+    std::mt19937_64 gen(seed);
+    std::exponential_distribution<double> gap(offered_qps);
+    double t = 0.0;
+    for (double& a : arrivals) {
+      t += gap(gen);
+      a = t;
+    }
+  }
+  LevelResult result;
+  result.offered_qps = offered_qps;
+  std::atomic<int> next{0};
+  std::mutex mu;  // result counters + histogram
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      HttpConn conn(port);
+      std::mt19937_64 gen(seed * 7919 + static_cast<std::uint64_t>(w));
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= total) break;
+        const Clock::time_point at =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            arrivals[static_cast<std::size_t>(i)]));
+        std::this_thread::sleep_until(at);
+        const int status = conn.post("/v1/query", query_body(gen, num_nodes));
+        const double latency =
+            std::chrono::duration<double>(Clock::now() - at).count();
+        std::lock_guard<std::mutex> lock(mu);
+        if (status == 200) {
+          ++result.ok;
+          result.hist.record(latency);
+        } else if (status == 429) {
+          ++result.shed;
+        } else if (status > 0) {
+          ++result.failed;
+        } else {
+          ++result.transport;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double elapsed = seconds_since(start);
+  result.achieved_qps =
+      elapsed > 0.0 ? static_cast<double>(result.ok) / elapsed : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double seconds_per_level = argc > 1 ? std::atof(argv[1]) : 1.5;
+  const int workers = argc > 2 ? std::atoi(argv[2]) : 16;
+  // 8x8 = 64 nodes: at/below the engine's exact cutoff, so queries take
+  // the O(10us) Dinic path. A latency harness for the FRONT DOOR wants
+  // cheap, stable-cost queries — the serving stack is the system under
+  // test, and solver cost is e13/e14's subject. (Pass a larger side to
+  // sweep the sherman path instead; saturation drops to tens of qps.)
+  const int grid_side = argc > 3 ? std::atoi(argv[3]) : 8;
+  const int trees = argc > 4 ? std::atoi(argv[4]) : 4;
+  const std::uint64_t seed = 0xe15;
+
+  dmf::Rng rng(seed);
+  dmf::Graph graph = dmf::make_grid(grid_side, grid_side, {1, 8}, rng);
+  const int num_nodes = graph.num_nodes();
+  const int num_edges = graph.num_edges();
+
+  dmf::EngineOptions eopts;
+  eopts.sherman.num_trees = trees;
+  eopts.seed = seed;
+  dmf::FlowEngine engine(std::move(graph), eopts);
+
+  dmf::serve::ServeAppOptions sopts;
+  sopts.http.http_port = 0;  // ephemeral
+  // Deliberately small: past saturation the engine queue holds this
+  // many admitted queries and everything beyond sheds with 429 — the
+  // overload behaviour this bench exists to demonstrate. (The client
+  // runs `workers` > this many concurrent requests.)
+  sopts.max_in_flight = 8;
+  dmf::serve::ServeApp app(engine, sopts);
+  std::string error;
+  if (!app.start(&error)) {
+    std::fprintf(stderr, "e15: serve start failed: %s\n", error.c_str());
+    return 1;
+  }
+  const int port = app.http_port();
+
+  dmf::bench::print_header(
+      "E15", "open-loop latency percentiles vs offered load (dmf-serve)");
+  std::printf("grid %dx%d, %d trees, %d client workers, %.1fs per level\n\n",
+              grid_side, grid_side, trees, workers, seconds_per_level);
+  dmf::bench::print_row({"offered_qps", "goodput_qps", "p50_ms", "p99_ms",
+                         "p999_ms", "shed_429", "failed"});
+
+  // Warm up connections, allocator, and engine caches so the first
+  // (lowest-load) level — the one the gated tail ratio comes from —
+  // isn't polluted by one-time costs.
+  {
+    std::vector<std::thread> warm;
+    for (int w = 0; w < workers; ++w) {
+      warm.emplace_back([&, w] {
+        HttpConn conn(port);
+        std::mt19937_64 gen(0x3a3a + static_cast<std::uint64_t>(w));
+        for (int i = 0; i < 25; ++i) {
+          conn.post("/v1/query", query_body(gen, num_nodes));
+        }
+      });
+    }
+    for (std::thread& t : warm) t.join();
+  }
+
+  dmf::bench::JsonArtifact artifact("BENCH_e15.json");
+  std::vector<LevelResult> levels;
+  double offered = 250.0;
+  for (int level = 0; level < 7; ++level) {
+    LevelResult r = run_level(port, offered, seconds_per_level, workers,
+                              num_nodes, seed + static_cast<unsigned>(level));
+    levels.push_back(r);
+    const double p50 = r.hist.quantile(0.50) * 1e3;
+    const double p99 = r.hist.quantile(0.99) * 1e3;
+    const double p999 = r.hist.quantile(0.999) * 1e3;
+    dmf::bench::print_row(
+        {dmf::bench::fmt(r.offered_qps, 0), dmf::bench::fmt(r.achieved_qps, 1),
+         dmf::bench::fmt(p50, 3), dmf::bench::fmt(p99, 3),
+         dmf::bench::fmt(p999, 3), dmf::bench::fmt_int(r.shed),
+         dmf::bench::fmt_int(r.failed)});
+    artifact.add({{"scenario",
+                   "e15_open_loop_q" + std::to_string(static_cast<int>(
+                                           r.offered_qps))},
+                  {"offered_qps", r.offered_qps},
+                  {"goodput_qps", r.achieved_qps},
+                  {"p50_ms", p50},
+                  {"p99_ms", p99},
+                  {"p999_ms", p999},
+                  {"shed_429", static_cast<long long>(r.shed)},
+                  {"failed", static_cast<long long>(r.failed)}});
+    if (r.achieved_qps < 0.6 * r.offered_qps) break;  // past saturation
+    offered *= 2.0;
+  }
+
+  double saturation_qps = 0.0;
+  for (const LevelResult& r : levels) {
+    saturation_qps = std::max(saturation_qps, r.achieved_qps);
+  }
+  // Tail-shape sample: the best-sampled level that still kept up with
+  // its offered rate. The lowest level has the fewest requests (its
+  // p99 rests on a handful of samples and is dominated by scheduler
+  // jitter); a pre-saturation level with 10-20x the samples gives the
+  // same machine-independent shape metric with far less variance.
+  const LevelResult* tail_pick = &levels.front();
+  for (const LevelResult& lvl : levels) {
+    if (lvl.achieved_qps >= 0.9 * lvl.offered_qps &&
+        lvl.ok >= tail_pick->ok) {
+      tail_pick = &lvl;
+    }
+  }
+  const LevelResult& tail = *tail_pick;
+  const double tail_p50 = tail.hist.quantile(0.50);
+  const double tail_p99 = tail.hist.quantile(0.99);
+  const double p99_over_p50 = tail_p50 > 0.0 ? tail_p99 / tail_p50 : 0.0;
+  std::printf("\nsaturation goodput: %.1f qps; tail p99/p50 at %.0f qps: "
+              "%.2f\n",
+              saturation_qps, tail.offered_qps, p99_over_p50);
+  artifact.add({{"scenario", "e15_saturation"},
+                {"throughput_qps", saturation_qps},
+                {"levels", static_cast<long long>(levels.size())}});
+  artifact.add({{"scenario", "e15_tail"},
+                {"offered_qps", tail.offered_qps},
+                {"p99_over_p50", p99_over_p50},
+                {"p50_ms", tail_p50 * 1e3},
+                {"p99_ms", tail_p99 * 1e3}});
+
+  // --- mutate mid-load, then drain with requests still arriving -------------
+  // Contract under test: every ADMITTED query completes (2xx); drain
+  // sheds new work with 503 and never turns an in-flight query into a
+  // 5xx/timeout.
+  std::atomic<bool> stop_load{false};
+  std::atomic<int> drain_ok{0}, drain_shed{0}, drain_rejected{0},
+      drain_failed{0}, drain_transport{0};
+  std::vector<std::thread> load;
+  const int drain_workers = std::max(4, workers / 4);
+  for (int w = 0; w < drain_workers; ++w) {
+    load.emplace_back([&, w] {
+      HttpConn conn(port);
+      std::mt19937_64 gen(0xd7a1 + static_cast<std::uint64_t>(w));
+      while (!stop_load.load(std::memory_order_relaxed)) {
+        const int status = conn.post("/v1/query", query_body(gen, num_nodes));
+        if (status == 200) {
+          ++drain_ok;
+        } else if (status == 429) {
+          ++drain_shed;
+        } else if (status == 503) {
+          ++drain_rejected;
+        } else if (status > 0) {
+          ++drain_failed;
+        } else {
+          ++drain_transport;
+          break;  // server is gone; drain finished
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  {
+    HttpConn mutator(port);
+    std::mt19937_64 gen(0xbeef);
+    std::uniform_int_distribution<int> edge(0, num_edges - 1);
+    std::string ops = "{\"ops\":[";
+    for (int i = 0; i < 8; ++i) {
+      if (i > 0) ops += ",";
+      ops += "{\"op\":\"set_capacity\",\"edge\":" +
+             std::to_string(edge(gen)) + ",\"capacity\":" +
+             std::to_string(1 + i % 8) + "}";
+    }
+    ops += "],\"wait_seconds\":10}";
+    const int status = mutator.post("/v1/mutate", ops);
+    if (status != 200) {
+      std::fprintf(stderr, "e15: mid-load mutate failed: HTTP %d\n", status);
+      return 1;
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  app.drain();
+  stop_load.store(true);
+  for (std::thread& t : load) t.join();
+
+  std::printf("drain phase: ok=%d shed=%d rejected_503=%d failed=%d\n",
+              drain_ok.load(), drain_shed.load(), drain_rejected.load(),
+              drain_failed.load());
+  artifact.add({{"scenario", "e15_drain"},
+                {"ok", static_cast<long long>(drain_ok.load())},
+                {"rejected_503", static_cast<long long>(drain_rejected.load())},
+                {"failed", static_cast<long long>(drain_failed.load())}});
+  artifact.write();
+
+  int bad_levels = 0;
+  for (const LevelResult& r : levels) bad_levels += r.failed;
+  if (drain_failed.load() != 0 || bad_levels != 0) {
+    std::fprintf(stderr,
+                 "e15: FAILED — %d in-flight queries failed across sweep, "
+                 "%d during drain (expected zero)\n",
+                 bad_levels, drain_failed.load());
+    return 1;
+  }
+  return 0;
+}

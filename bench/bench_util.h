@@ -3,6 +3,7 @@
 // one table of EXPERIMENTS.md.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdio>
 #include <string>
@@ -67,6 +68,13 @@ inline void print_header(const std::string& id, const std::string& title) {
 class JsonValue {
  public:
   JsonValue(double v) {  // NOLINT(google-explicit-constructor)
+    // A non-finite metric (e.g. a latency that hit Inf past saturation)
+    // must degrade the record, not corrupt the document: %.9g would
+    // print bare `inf`/`nan`, which is not JSON.
+    if (!std::isfinite(v)) {
+      encoded_ = "null";
+      return;
+    }
     char buffer[64];
     std::snprintf(buffer, sizeof(buffer), "%.9g", v);
     encoded_ = buffer;
@@ -82,8 +90,39 @@ class JsonValue {
   static std::string quote(const std::string& s) {
     std::string out = "\"";
     for (const char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\b':
+          out += "\\b";
+          break;
+        case '\f':
+          out += "\\f";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                          static_cast<unsigned>(
+                              static_cast<unsigned char>(c)));
+            out += buffer;
+          } else {
+            out.push_back(c);
+          }
+      }
     }
     out.push_back('"');
     return out;

@@ -1,4 +1,10 @@
-// A long-lived flow service loop on the FlowEngine session API.
+// A long-lived flow service loop on the FlowEngine session API — the
+// IN-PROCESS shape. For serving the same engine over the network (HTTP
+// or binary frames, with admission control, tenant quotas, deadlines,
+// and graceful drain) use the dmf-serve daemon in apps/dmf_serve.cpp;
+// examples/http_client.cpp shows the client side of both protocols.
+// This example stays valuable for what a network hop hides: direct
+// Ticket handles, priorities, and cancellation from the caller's side.
 //
 // Models the ROADMAP's "heavy traffic" shape: a service thread keeps
 // submitting work in waves while completions stream back out of order

@@ -1,0 +1,143 @@
+// Thin client for a running dmf-serve daemon, speaking either wire
+// protocol. Start the daemon first:
+//
+//   ./dmf-serve --port 8080 --binary-port 8081 &
+//   ./example_http_client 8080 http      # HTTP/1.1 keep-alive
+//   ./example_http_client 8081 binary    # length-prefixed frames
+//
+// Sends a health check, a max-flow query, a mutation, and a stats
+// poll over ONE persistent connection, printing each response. The
+// point is how little a client needs: a TCP socket and ~80 lines —
+// no HTTP library, no schema compiler. See README "Serving" for the
+// endpoint and header reference (tenants, deadlines, 429 semantics).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/wire.h"
+
+namespace {
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// --- HTTP/1.1 ---------------------------------------------------------------
+
+bool http_call(int fd, const std::string& method, const std::string& path,
+               const std::string& body) {
+  std::string req = method + " " + path + " HTTP/1.1\r\nHost: dmf\r\n";
+  if (method == "POST") {
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  req += "\r\n" + body;
+  if (!send_all(fd, req)) return false;
+
+  std::string raw;
+  char buf[8192];
+  std::size_t header_end;
+  while ((header_end = raw.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  int status = 0;
+  std::sscanf(raw.c_str(), "HTTP/1.1 %d", &status);
+  std::size_t content_length = 0;
+  const char* cl = std::strstr(raw.c_str(), "Content-Length:");
+  if (cl != nullptr) content_length = std::strtoul(cl + 15, nullptr, 10);
+  std::string resp_body = raw.substr(header_end + 4);
+  while (resp_body.size() < content_length) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    resp_body.append(buf, static_cast<std::size_t>(n));
+  }
+  std::printf("%s %s -> %d\n  %s\n", method.c_str(), path.c_str(), status,
+              resp_body.substr(0, 200).c_str());
+  return true;
+}
+
+// --- binary frames ----------------------------------------------------------
+
+bool binary_call(int fd, const std::string& method, const std::string& path,
+                 const std::string& body) {
+  using namespace dmf::serve;
+  BinaryRequest req;
+  req.method = method;
+  req.path = path;
+  req.body = body;
+  if (!send_all(fd, encode_binary_request(req))) return false;
+
+  std::string raw;
+  char buf[8192];
+  auto frame_len = [&]() -> std::size_t {
+    return read_u32le(reinterpret_cast<const unsigned char*>(raw.data()));
+  };
+  while (raw.size() < 4 || raw.size() < 4 + frame_len()) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  const int status = static_cast<unsigned char>(raw[4]) |
+                     (static_cast<unsigned char>(raw[5]) << 8);
+  const std::string resp_body = raw.substr(6, frame_len() - 2);
+  std::printf("%s %s -> %d\n  %s\n", method.c_str(), path.c_str(), status,
+              resp_body.substr(0, 200).c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int port = argc > 1 ? std::atoi(argv[1]) : 8080;
+  const bool binary = argc > 2 && std::string(argv[2]) == "binary";
+
+  const int fd = connect_loopback(port);
+  if (fd < 0) {
+    std::fprintf(stderr, "cannot connect to 127.0.0.1:%d (is dmf-serve up?)\n",
+                 port);
+    return 1;
+  }
+
+  const auto call = binary ? binary_call : http_call;
+  bool ok = call(fd, "GET", "/healthz", "");
+  ok = ok && call(fd, "POST", "/v1/query",
+                  R"({"kind":"max_flow","s":0,"t":1,"epsilon":0.25})");
+  ok = ok && call(fd, "POST", "/v1/mutate",
+                  R"({"ops":[{"op":"set_capacity","edge":0,"capacity":2.5}],)"
+                  R"("wait_seconds":30})");
+  ok = ok && call(fd, "GET", "/v1/stats", "");
+  ::close(fd);
+  if (!ok) {
+    std::fprintf(stderr, "request failed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -2,9 +2,9 @@
 """Benchmark regression gate.
 
 Compares the JSON artifacts a CI run just produced (BENCH_e1.json,
-BENCH_e13.json, BENCH_e14.json) against the committed reference
-artifacts in bench/baselines/ and fails when throughput regresses
-beyond the threshold:
+BENCH_e13.json, BENCH_e14.json, BENCH_e15.json) against the committed
+reference artifacts in bench/baselines/ and fails when throughput
+regresses beyond the threshold:
 
   * every scenario carrying a `throughput_qps` field is compared;
   * a scenario is a REGRESSION when current < (1 - threshold) * baseline
@@ -13,6 +13,10 @@ beyond the threshold:
     e14c repair-vs-rebuild ratio) gate that ratio the same way — unlike
     absolute qps it is machine-class independent, so it guards wins
     like "repair is Nx a full rebuild" directly;
+  * metrics in LOWER_METRICS (e.g. the e15 `p99_over_p50` tail ratio)
+    gate the other direction — regression when current grows past
+    (1 + slack) * baseline — and are likewise machine-class
+    independent;
   * a baseline scenario absent from the current artifacts is MISSING
     and fails the gate — a bench that silently skips (or renames) a
     scenario must not read as "no regression"; retire it from the
@@ -46,9 +50,21 @@ import json
 import os
 import sys
 
-ARTIFACTS = ["BENCH_e1.json", "BENCH_e13.json", "BENCH_e14.json"]
+ARTIFACTS = [
+    "BENCH_e1.json",
+    "BENCH_e13.json",
+    "BENCH_e14.json",
+    "BENCH_e15.json",
+]
 METRIC = "throughput_qps"
 RATIO_METRIC = "speedup"
+# Lower-is-better metrics with their slack: fail when
+# current > (1 + slack) * baseline. The e15 p99/p50 tail ratio is
+# machine-class independent (both quantiles scale with the machine),
+# so it guards latency-tail shape the way `speedup` guards repair
+# wins; the generous 1.0 slack (2x) absorbs scheduler noise in the
+# tail while still catching a convoy/queueing bug.
+LOWER_METRICS = {"p99_over_p50": 1.0}
 
 
 def load_scenarios(path):
@@ -63,7 +79,7 @@ def load_scenarios(path):
 def compare(baseline, current, threshold):
     """Yields (scenario, base_qps, cur_qps, ratio, status) rows."""
     for name, base in sorted(baseline.items()):
-        for metric in (METRIC, RATIO_METRIC):
+        for metric in (METRIC, RATIO_METRIC, *LOWER_METRICS):
             if metric not in base:
                 continue
             label = name if metric == METRIC else f"{name}[{metric}]"
@@ -74,8 +90,13 @@ def compare(baseline, current, threshold):
                 continue
             cur_val = float(cur[metric])
             ratio = cur_val / base_val if base_val > 0 else float("inf")
-            status = "OK" if ratio >= 1.0 - threshold else "REGRESSION"
-            yield label, base_val, cur_val, ratio, status
+            if metric in LOWER_METRICS:
+                # Lower is better: regression when the ratio grows past
+                # the metric's own slack.
+                ok = ratio <= 1.0 + LOWER_METRICS[metric]
+            else:
+                ok = ratio >= 1.0 - threshold
+            yield label, base_val, cur_val, ratio, "OK" if ok else "REGRESSION"
     for name in sorted(set(current) - set(baseline)):
         if METRIC in current[name]:
             yield name, None, float(current[name][METRIC]), None, "NEW"

@@ -637,15 +637,16 @@ struct FlowEngine::Core {
     ++stats.queries_cancelled;
   }
 
+  // Coherent snapshot: every field is copied under one critical section
+  // (version_mutex, then stats_mutex inside it — the documented lock
+  // order), so the counters, the serving version, and the cache totals
+  // all describe the same instant.
   [[nodiscard]] EngineStats snapshot_stats() const {
-    std::shared_ptr<const Serving> s;
-    {
-      std::lock_guard<std::mutex> lock(version_mutex);
-      s = serving;
-    }
     EngineStats out;
+    std::lock_guard<std::mutex> version_lock(version_mutex);
+    const std::shared_ptr<const Serving>& s = serving;
     {
-      std::lock_guard<std::mutex> lock(stats_mutex);
+      std::lock_guard<std::mutex> stats_lock(stats_mutex);
       out = stats;
       out.hierarchy_cache_hits = retired_cache_hits;
       out.hierarchy_cache_misses = retired_cache_misses;
@@ -654,11 +655,6 @@ struct FlowEngine::Core {
     out.hierarchy_cache_misses += s->cache->misses();
     out.serving_version = s->snapshot.version;
     out.latest_version = store->latest_version();
-    // Deprecated flat aliases mirror the grouped refresh counters.
-    out.rebuilds_started = out.rebuild.started;
-    out.rebuilds_completed = out.rebuild.completed;
-    out.rebuilds_failed = out.rebuild.failed;
-    out.rebuild_seconds_total = out.rebuild.seconds_total;
     return out;
   }
 };

@@ -166,12 +166,6 @@ struct EngineStats {
   GraphVersion latest_version = 0;   // newest snapshot in the store
   // Background refresh behavior (full rebuilds + incremental repairs).
   RebuildStats rebuild;
-  // Deprecated aliases of the `rebuild` sub-struct, filled by stats();
-  // pre-v6 readers keep compiling. New code reads `rebuild.*`.
-  std::int64_t rebuilds_started = 0;    // = rebuild.started
-  std::int64_t rebuilds_completed = 0;  // = rebuild.completed
-  std::int64_t rebuilds_failed = 0;     // = rebuild.failed
-  double rebuild_seconds_total = 0.0;   // = rebuild.seconds_total
   // Queries answered from a snapshot older than the store's latest (the
   // price of not stalling during a rebuild).
   std::int64_t queries_served_stale = 0;

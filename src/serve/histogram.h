@@ -1,0 +1,97 @@
+// Log-bucketed latency histogram (HDR-style, fixed memory).
+//
+// Both dmf-serve's per-endpoint latency tracking and the bench_e15
+// open-loop load generator need quantiles over millions of latency
+// samples without storing them: record() maps a duration onto one of
+// kNumBuckets geometrically spaced buckets (~7% relative width, so a
+// reported p99 is within a bucket of the true one), quantile() walks
+// the cumulative counts back to a representative value. Values are
+// clamped into [kMinSeconds, kMaxSeconds]; a sample can never be lost
+// or widen the array. Plain value type — callers that share one across
+// threads wrap it in their own lock (the serve layer does).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace dmf::serve {
+
+class LatencyHistogram {
+ public:
+  static constexpr double kMinSeconds = 1e-6;  // 1us floor
+  static constexpr double kMaxSeconds = 1e3;   // 1000s ceiling
+  static constexpr int kNumBuckets = 320;
+
+  void record(double seconds) {
+    ++count_;
+    sum_seconds_ += seconds;
+    max_seconds_ = std::max(max_seconds_, seconds);
+    ++buckets_[static_cast<std::size_t>(bucket_index(seconds))];
+  }
+
+  // q in [0, 1]; the geometric midpoint of the bucket holding the
+  // q-quantile sample. 0 when empty.
+  [[nodiscard]] double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    const double clamped = std::clamp(q, 0.0, 1.0);
+    // Rank of the target sample, 1-based; q = 0 is the first sample.
+    const auto rank = static_cast<std::int64_t>(
+        std::ceil(clamped * static_cast<double>(count_)));
+    std::int64_t seen = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      seen += buckets_[static_cast<std::size_t>(b)];
+      if (seen >= std::max<std::int64_t>(rank, 1)) {
+        return bucket_value(b);
+      }
+    }
+    return bucket_value(kNumBuckets - 1);
+  }
+
+  void merge(const LatencyHistogram& other) {
+    count_ += other.count_;
+    sum_seconds_ += other.sum_seconds_;
+    max_seconds_ = std::max(max_seconds_, other.max_seconds_);
+    for (int b = 0; b < kNumBuckets; ++b) {
+      buckets_[static_cast<std::size_t>(b)] +=
+          other.buckets_[static_cast<std::size_t>(b)];
+    }
+  }
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? sum_seconds_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double max() const { return max_seconds_; }
+
+ private:
+  // log-spaced: bucket width grows by kGrowth per step, spanning
+  // [kMinSeconds, kMaxSeconds] in kNumBuckets steps.
+  static double log_growth() {
+    static const double g =
+        std::log(kMaxSeconds / kMinSeconds) / (kNumBuckets - 1);
+    return g;
+  }
+
+  static int bucket_index(double seconds) {
+    if (!(seconds > kMinSeconds)) return 0;  // also catches NaN
+    if (seconds >= kMaxSeconds) return kNumBuckets - 1;
+    const int b =
+        static_cast<int>(std::log(seconds / kMinSeconds) / log_growth());
+    return std::clamp(b, 0, kNumBuckets - 1);
+  }
+
+  static double bucket_value(int b) {
+    // Geometric midpoint of the bucket's [lo, lo * e^growth) span.
+    return kMinSeconds * std::exp((static_cast<double>(b) + 0.5) *
+                                  log_growth());
+  }
+
+  std::int64_t count_ = 0;
+  double sum_seconds_ = 0.0;
+  double max_seconds_ = 0.0;
+  std::array<std::int64_t, kNumBuckets> buckets_{};
+};
+
+}  // namespace dmf::serve

@@ -1,0 +1,72 @@
+// The bench artifact writer must emit valid JSON no matter what the
+// harness feeds it: non-finite metrics degrade to null (not bare
+// `inf`/`nan`, which no parser accepts) and strings escape quotes,
+// backslashes, and control characters. Round-tripping a written
+// artifact through the serve layer's strict JSON parser is the
+// strongest check we have in-tree.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "bench_util.h"
+#include "serve/wire.h"
+
+namespace dmf::bench {
+namespace {
+
+TEST(JsonValue, NonFiniteDegradesToNull) {
+  EXPECT_EQ(JsonValue(std::nan("")).encoded(), "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).encoded(),
+            "null");
+  EXPECT_EQ(JsonValue(-std::numeric_limits<double>::infinity()).encoded(),
+            "null");
+  EXPECT_EQ(JsonValue(2.5).encoded(), "2.5");
+}
+
+TEST(JsonValue, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(JsonValue("plain").encoded(), "\"plain\"");
+  EXPECT_EQ(JsonValue("say \"hi\"").encoded(), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(JsonValue("a\\b").encoded(), "\"a\\\\b\"");
+  EXPECT_EQ(JsonValue("tab\there").encoded(), "\"tab\\there\"");
+  EXPECT_EQ(JsonValue(std::string("nul\x01mid")).encoded(),
+            "\"nul\\u0001mid\"");
+  EXPECT_EQ(JsonValue("line\nbreak\r").encoded(), "\"line\\nbreak\\r\"");
+}
+
+TEST(JsonArtifact, WrittenDocumentParsesStrictly) {
+  const std::string path = "/tmp/dmf_bench_util_test.json";
+  JsonArtifact artifact(path);
+  artifact.add({{"scenario", "weird \"quoted\"\tname"},
+                {"throughput_qps", 123.456},
+                {"latency_s", std::numeric_limits<double>::infinity()},
+                {"count", 7LL}});
+  artifact.add({{"scenario", "second"}, {"value", std::nan("")}});
+  artifact.write();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  // The serve layer's parser is strict (rejects trailing garbage, bad
+  // escapes, bare inf/nan); the artifact must satisfy it verbatim.
+  const serve::Json doc = serve::Json::parse(buffer.str());
+  const serve::JsonArray& records = doc.as_array("artifact");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].find("scenario")->as_string("scenario"),
+            "weird \"quoted\"\tname");
+  EXPECT_DOUBLE_EQ(records[0].find("throughput_qps")->as_number("qps"),
+                   123.456);
+  EXPECT_TRUE(records[0].find("latency_s")->is_null());
+  EXPECT_EQ(records[0].find("count")->as_int("count"), 7);
+  EXPECT_TRUE(records[1].find("value")->is_null());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dmf::bench
