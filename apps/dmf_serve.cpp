@@ -8,8 +8,12 @@
 //
 // Usage:
 //   dmf-serve [--port N] [--binary-port N] [--grid WxH | --gnp N P]
-//             [--trees K] [--threads T] [--max-in-flight N]
+//             [--trees K] [--threads T] [--shards K] [--max-in-flight N]
 //             [--tenant-qps R] [--deadline-ms D] [--seed S]
+//
+// --shards K > 0 swaps the engine's single worker pool for K per-core
+// run-to-completion pipelines (terminal-locality routed; see
+// engine/shard_exec.h); /v1/stats then carries a per-shard breakdown.
 //
 // With --port 0 the kernel picks a port; it is printed on stdout as
 //   dmf-serve listening http=PORT binary=PORT
@@ -52,6 +56,7 @@ int main(int argc, char** argv) {
   double gnp_p = 0.0;
   int trees = 6;
   int threads = 0;
+  int shards = 0;
   int max_in_flight = 256;
   double tenant_qps = 0.0;
   double deadline_ms = 0.0;
@@ -77,6 +82,8 @@ int main(int argc, char** argv) {
       trees = static_cast<int>(arg_number(argc, argv, &i, a));
     } else if (std::strcmp(a, "--threads") == 0) {
       threads = static_cast<int>(arg_number(argc, argv, &i, a));
+    } else if (std::strcmp(a, "--shards") == 0) {
+      shards = static_cast<int>(arg_number(argc, argv, &i, a));
     } else if (std::strcmp(a, "--max-in-flight") == 0) {
       max_in_flight = static_cast<int>(arg_number(argc, argv, &i, a));
     } else if (std::strcmp(a, "--tenant-qps") == 0) {
@@ -99,6 +106,7 @@ int main(int argc, char** argv) {
   dmf::EngineOptions eopts;
   eopts.sherman.num_trees = trees;
   eopts.threads = threads;
+  eopts.shards = shards;
   eopts.seed = seed;
   dmf::FlowEngine engine(std::move(graph), eopts);
 

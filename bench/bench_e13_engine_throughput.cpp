@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -127,8 +128,11 @@ int main(int argc, char** argv) {
   }
 
   // --- Worker-pool scaling on one prebuilt hierarchy (gnp family). ---
+  // The sweep runs 1..hardware_concurrency (powers of two, plus the
+  // endpoints), and `efficiency` = qps_T / (T * qps_1) shows how much of
+  // the ideal linear scaling the pool delivers at each width.
   bench::print_header("E13b", "worker-pool scaling on a prebuilt hierarchy");
-  bench::print_row({"threads", "batch_s", "qps"});
+  bench::print_row({"threads", "batch_s", "qps", "efficiency"});
   Rng rng(seed);
   const Graph g = bench::make_family("gnp", n, rng);
   std::vector<EngineQuery> queries;
@@ -141,7 +145,13 @@ int main(int argc, char** argv) {
                      g.num_nodes();
     queries.push_back(MaxFlowQuery{s, t});
   }
-  for (const int threads : {1, 2, 4}) {
+  std::vector<int> thread_sweep = {1, 2, 4};
+  const int hw = std::max(
+      1, static_cast<int>(std::thread::hardware_concurrency()));
+  for (int t = 8; t <= hw; t *= 2) thread_sweep.push_back(t);
+  if (hw > 4 && thread_sweep.back() != hw) thread_sweep.push_back(hw);
+  double qps_t1 = 0.0;
+  for (const int threads : thread_sweep) {
     EngineOptions options;
     options.threads = threads;
     options.sherman.num_trees = 6;
@@ -150,16 +160,19 @@ int main(int argc, char** argv) {
     const auto start = Clock::now();
     (void)engine.run_batch(queries);
     const double batch_seconds = seconds_since(start);
+    const double qps = static_cast<double>(num_queries) / batch_seconds;
+    if (threads == 1) qps_t1 = qps;
+    const double efficiency =
+        qps_t1 > 0.0 ? qps / (static_cast<double>(threads) * qps_t1) : 0.0;
     bench::print_row({bench::fmt_int(threads), bench::fmt(batch_seconds),
-                      bench::fmt(static_cast<double>(num_queries) /
-                                     batch_seconds,
-                                 1)});
+                      bench::fmt(qps, 1), bench::fmt(efficiency)});
     artifact.add(
         {{"scenario",
           std::string("e13b_pool_scaling_t") + std::to_string(threads)},
          {"n", static_cast<int>(n)},
          {"queries", num_queries},
-         {"throughput_qps", static_cast<double>(num_queries) / batch_seconds},
+         {"throughput_qps", qps},
+         {"efficiency", efficiency},
          {"value_ratio", 1.0}});
   }
 

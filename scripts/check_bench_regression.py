@@ -55,6 +55,7 @@ ARTIFACTS = [
     "BENCH_e13.json",
     "BENCH_e14.json",
     "BENCH_e15.json",
+    "BENCH_e16.json",
 ]
 METRIC = "throughput_qps"
 RATIO_METRIC = "speedup"

@@ -1,0 +1,381 @@
+#include "engine/shard_exec.h"
+
+#include <chrono>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace dmf {
+
+namespace {
+
+// Bounded waits are insurance against a lost wakeup, not the wakeup
+// mechanism: the flag-then-recheck protocol (sleeping / producers_waiting
+// announced before blocking, re-verified by the peer) makes the common
+// case notification-driven.
+constexpr auto kConsumerNap = std::chrono::milliseconds(50);
+constexpr auto kProducerNap = std::chrono::milliseconds(1);
+
+void pin_to_core(int shard) {
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(shard) % hw, &set);
+  // Best-effort: a failed affinity call (cgroup restriction, exotic
+  // topology) degrades to an unpinned worker, never an error.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)shard;
+#endif
+}
+
+}  // namespace
+
+ShardedDispatcher::ShardedDispatcher(Options options)
+    : num_shards_(options.num_shards), pin_threads_(options.pin_threads) {
+  DMF_REQUIRE(options.num_shards > 0,
+              "ShardedDispatcher: num_shards must be positive");
+  DMF_REQUIRE(options.ring_capacity > 0,
+              "ShardedDispatcher: ring_capacity must be positive");
+  lanes_.reserve(static_cast<std::size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    lanes_.push_back(std::make_unique<Lane>(options.ring_capacity));
+  }
+  for (int s = 0; s < num_shards_; ++s) {
+    lanes_[static_cast<std::size_t>(s)]->worker =
+        std::thread([this, s] { shard_loop(s); });
+  }
+  control_worker_ = std::thread([this] { control_loop(); });
+}
+
+ShardedDispatcher::~ShardedDispatcher() { shutdown(); }
+
+std::shared_ptr<ShardedDispatcher::Task> ShardedDispatcher::make_task(
+    int lane, std::function<void()> run, CancelFn cancelled, bool parked) {
+  auto task = std::make_shared<Task>();
+  task->lane = lane;
+  task->run = std::move(run);
+  task->cancelled = std::move(cancelled);
+  if (parked) task->status.store(kParked);
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    DMF_REQUIRE(!stopping_.load(std::memory_order_acquire),
+                "ShardedDispatcher: dispatch after shutdown");
+    task->id = next_id_++;
+    by_id_.emplace(task->id, task);
+    ++pending_;
+  }
+  return task;
+}
+
+std::uint64_t ShardedDispatcher::dispatch(int priority,
+                                          std::function<void()> run,
+                                          CancelFn cancelled, int lane) {
+  (void)priority;  // rings are FIFO; priority is a single-pool concept
+  DMF_REQUIRE(lane == kControlLane || (lane >= 0 && lane < num_shards_),
+              "ShardedDispatcher::dispatch: lane out of range");
+  auto task =
+      make_task(lane, std::move(run), std::move(cancelled), /*parked=*/false);
+  const std::uint64_t id = task->id;
+  if (!push_to_lane(lane, task)) {
+    // The lane closed between registration and push (shutdown racing a
+    // submitter): resolve here so the promise is still fulfilled. Not
+    // counted as an explicit cancellation — same as WorkerPool's
+    // queued-at-shutdown drain.
+    resolve_cancelled(task, ErrorCode::kShutdown, /*count_cancelled=*/false);
+  }
+  return id;
+}
+
+std::uint64_t ShardedDispatcher::dispatch_parked(int priority,
+                                                 std::function<void()> run,
+                                                 CancelFn cancelled,
+                                                 int lane) {
+  (void)priority;
+  DMF_REQUIRE(lane == kControlLane || (lane >= 0 && lane < num_shards_),
+              "ShardedDispatcher::dispatch_parked: lane out of range");
+  auto task =
+      make_task(lane, std::move(run), std::move(cancelled), /*parked=*/true);
+  return task->id;
+}
+
+bool ShardedDispatcher::push_to_lane(int lane_idx,
+                                     std::shared_ptr<Task> task) {
+  if (lane_idx == kControlLane) {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) return false;
+    control_queue_.push_back(std::move(task));
+    control_cv_.notify_one();
+    return true;
+  }
+  Lane& lane = *lanes_[static_cast<std::size_t>(lane_idx)];
+  // Serialize submitters into the ring's single producer slot. Held
+  // across a full-ring wait too: ordering among blocked producers is
+  // not a contract, and shutdown's close-under-this-mutex relies on no
+  // push straddling the close.
+  std::lock_guard<std::mutex> producer(lane.producer_mutex);
+  for (;;) {
+    if (lane.ring.closed()) return false;
+    std::shared_ptr<Task> slot = task;
+    if (lane.ring.try_push(slot)) break;
+    // Backpressure: the shard's pipeline is full. Announce, re-check,
+    // block briefly; the consumer notifies after every pop while
+    // producers_waiting is set.
+    lane.ring_full_waits.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> wake(lane.wake_mutex);
+    lane.producers_waiting.fetch_add(1, std::memory_order_seq_cst);
+    lane.space_cv.wait_for(wake, kProducerNap, [&lane] {
+      return lane.ring.closed() ||
+             lane.ring.size_approx() < lane.ring.capacity();
+    });
+    lane.producers_waiting.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  // Wake the consumer only if it announced it was sleeping; the
+  // seq_cst fence pair with shard_loop's announce-then-recheck makes a
+  // missed flag imply the consumer saw our push.
+  if (lane.sleeping.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> wake(lane.wake_mutex);
+    lane.wake_cv.notify_one();
+  }
+  return true;
+}
+
+bool ShardedDispatcher::release(std::uint64_t id) {
+  std::shared_ptr<Task> task;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    const auto it = by_id_.find(id);
+    if (it == by_id_.end() ||
+        stopping_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    task = it->second;
+  }
+  int expected = kParked;
+  if (!task->status.compare_exchange_strong(expected, kQueued)) {
+    return false;
+  }
+  // The push happens outside the registry lock (it can block on a full
+  // ring). If shutdown closes the lane in between, the kQueued task is
+  // ours to resolve — the parked sweep no longer sees it.
+  if (!push_to_lane(task->lane, task)) {
+    resolve_cancelled(task, ErrorCode::kShutdown, /*count_cancelled=*/false);
+  }
+  return true;
+}
+
+bool ShardedDispatcher::fail_parked(std::uint64_t id, ErrorCode code) {
+  std::shared_ptr<Task> task;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    const auto it = by_id_.find(id);
+    if (it == by_id_.end()) return false;
+    task = it->second;
+  }
+  int expected = kParked;
+  if (!task->status.compare_exchange_strong(expected, kCancelled)) {
+    return false;
+  }
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  task->cancelled(code);
+  finish_one(id);
+  return true;
+}
+
+bool ShardedDispatcher::cancel(std::uint64_t id) {
+  std::shared_ptr<Task> task;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    const auto it = by_id_.find(id);
+    if (it == by_id_.end()) return false;
+    task = it->second;
+  }
+  int expected = kQueued;
+  if (!task->status.compare_exchange_strong(expected, kCancelled)) {
+    expected = kParked;
+    if (!task->status.compare_exchange_strong(expected, kCancelled)) {
+      return false;
+    }
+  }
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  task->cancelled(ErrorCode::kCancelled);
+  finish_one(id);
+  return true;
+}
+
+void ShardedDispatcher::wait_all() {
+  std::unique_lock<std::mutex> lock(registry_mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ShardedDispatcher::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    if (stopping_.exchange(true)) return;  // idempotent
+  }
+  // Close every ring under its producer mutex: any in-flight submitter
+  // either completed its push before the close (the worker's drain
+  // below resolves it) or observes the closed ring and resolves its own
+  // task with kShutdown. Either way no promise is stranded.
+  for (auto& lane : lanes_) {
+    {
+      std::lock_guard<std::mutex> producer(lane->producer_mutex);
+      lane->ring.close();
+    }
+    std::lock_guard<std::mutex> wake(lane->wake_mutex);
+    lane->wake_cv.notify_all();
+    lane->space_cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    control_cv_.notify_all();
+  }
+  for (auto& lane : lanes_) {
+    if (lane->worker.joinable()) lane->worker.join();
+  }
+  if (control_worker_.joinable()) control_worker_.join();
+  // Parked sweep: the versions these queries wait for will never be
+  // served. Races with a concurrent release() are settled by the status
+  // CAS — whoever wins resolves the task exactly once.
+  std::vector<std::shared_ptr<Task>> parked;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    parked.reserve(by_id_.size());
+    for (const auto& [id, task] : by_id_) {
+      if (task->status.load() == kParked) parked.push_back(task);
+    }
+  }
+  for (const auto& task : parked) {
+    int expected = kParked;
+    if (task->status.compare_exchange_strong(expected, kCancelled)) {
+      task->cancelled(ErrorCode::kVersionUnavailable);
+      finish_one(task->id);
+    }
+  }
+}
+
+ShardedDispatcher::LaneStats ShardedDispatcher::lane_stats(int lane) const {
+  DMF_REQUIRE(lane >= 0 && lane < num_shards_,
+              "ShardedDispatcher::lane_stats: lane out of range");
+  const Lane& l = *lanes_[static_cast<std::size_t>(lane)];
+  LaneStats stats;
+  stats.executed = l.executed.load(std::memory_order_relaxed);
+  stats.ring_full_waits = l.ring_full_waits.load(std::memory_order_relaxed);
+  stats.queue_depth = l.ring.size_approx();
+  return stats;
+}
+
+void ShardedDispatcher::resolve_cancelled(const std::shared_ptr<Task>& task,
+                                          ErrorCode code,
+                                          bool count_cancelled) {
+  int expected = kQueued;
+  if (!task->status.compare_exchange_strong(expected, kCancelled)) return;
+  if (count_cancelled) cancelled_.fetch_add(1, std::memory_order_relaxed);
+  task->cancelled(code);
+  finish_one(task->id);
+}
+
+void ShardedDispatcher::run_task(Lane* lane,
+                                 const std::shared_ptr<Task>& task) {
+  int expected = kQueued;
+  if (!task->status.compare_exchange_strong(expected, kRunning)) {
+    return;  // cancelled while in the ring; its CancelFn already ran
+  }
+  task->run();
+  task->status.store(kDone);
+  if (lane != nullptr) lane->executed.fetch_add(1, std::memory_order_relaxed);
+  finish_one(task->id);
+}
+
+void ShardedDispatcher::shard_loop(int shard) {
+  if (pin_threads_) pin_to_core(shard);
+  Lane& lane = *lanes_[static_cast<std::size_t>(shard)];
+  for (;;) {
+    // Exit condition is the *closed ring*, not the stopping flag:
+    // close() runs under the producer mutex, so once observed no
+    // further push can succeed and the drain below is complete.
+    if (lane.ring.closed()) {
+      std::shared_ptr<Task> task;
+      while (lane.ring.try_pop(task)) {
+        resolve_cancelled(task, ErrorCode::kShutdown,
+                          /*count_cancelled=*/false);
+        task.reset();
+      }
+      return;
+    }
+    std::shared_ptr<Task> task;
+    if (lane.ring.try_pop(task)) {
+      if (lane.producers_waiting.load(std::memory_order_seq_cst) > 0) {
+        std::lock_guard<std::mutex> wake(lane.wake_mutex);
+        lane.space_cv.notify_all();
+      }
+      run_task(&lane, task);
+      continue;
+    }
+    // Ring drained: announce the nap, re-check for a push that raced
+    // the announcement, then block (bounded, as lost-wakeup insurance).
+    lane.sleeping.store(true, std::memory_order_seq_cst);
+    if (!lane.ring.empty_approx() || lane.ring.closed()) {
+      lane.sleeping.store(false, std::memory_order_seq_cst);
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> wake(lane.wake_mutex);
+      lane.wake_cv.wait_for(wake, kConsumerNap, [&lane] {
+        return !lane.ring.empty_approx() || lane.ring.closed();
+      });
+    }
+    lane.sleeping.store(false, std::memory_order_seq_cst);
+  }
+}
+
+void ShardedDispatcher::control_loop() {
+  for (;;) {
+    std::shared_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lock(control_mutex_);
+      control_cv_.wait(lock, [this] {
+        return !control_queue_.empty() ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      if (stopping_.load(std::memory_order_acquire)) {
+        // Drain: control tasks not yet claimed resolve with kShutdown,
+        // mirroring the shard lanes (and WorkerPool's queue drain).
+        std::vector<std::shared_ptr<Task>> drained(
+            std::make_move_iterator(control_queue_.begin()),
+            std::make_move_iterator(control_queue_.end()));
+        control_queue_.clear();
+        lock.unlock();
+        for (const auto& t : drained) {
+          resolve_cancelled(t, ErrorCode::kShutdown,
+                            /*count_cancelled=*/false);
+        }
+        return;
+      }
+      task = std::move(control_queue_.front());
+      control_queue_.pop_front();
+    }
+    run_task(nullptr, task);
+  }
+}
+
+void ShardedDispatcher::finish_one(std::uint64_t id) {
+  bool idle = false;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    by_id_.erase(id);
+    DMF_REQUIRE(pending_ > 0, "ShardedDispatcher: pending underflow");
+    --pending_;
+    idle = pending_ == 0;
+  }
+  if (idle) idle_cv_.notify_all();
+}
+
+}  // namespace dmf

@@ -9,7 +9,9 @@ GraphStore::GraphStore(Graph initial, std::size_t history_limit)
     : history_limit_(history_limit) {
   auto graph = std::make_shared<const Graph>(std::move(initial));
   auto csr = std::make_shared<const CsrGraph>(graph);
-  history_.push_back(GraphSnapshot{std::move(graph), std::move(csr), 0});
+  auto plan = ShardPlan::build(*graph);
+  history_.push_back(
+      GraphSnapshot{std::move(graph), std::move(csr), std::move(plan), 0});
 }
 
 GraphSnapshot GraphStore::snapshot() const {
@@ -68,8 +70,23 @@ GraphSnapshot GraphStore::apply(const MutationBatch& batch) {
   // half-edge arrays survive capacity- and node-only batches).
   auto next_csr =
       std::make_shared<const CsrGraph>(next_graph, base.csr.get());
+  // The shard plan follows the same reuse ladder: capacities cannot
+  // change the (unweighted) decomposition, new nodes become singleton
+  // clusters, and only new edges force a recompute.
+  std::shared_ptr<const ShardPlan> next_plan;
+  switch (batch.classify()) {
+    case BatchKind::kCapacityOnly:
+      next_plan = base.plan;
+      break;
+    case BatchKind::kNodeOnly:
+      next_plan = ShardPlan::extend(*base.plan, next_graph->num_nodes());
+      break;
+    case BatchKind::kTopology:
+      next_plan = ShardPlan::build(*next_graph);
+      break;
+  }
   GraphSnapshot published{std::move(next_graph), std::move(next_csr),
-                          base.version + 1};
+                          std::move(next_plan), base.version + 1};
   {
     std::lock_guard<std::mutex> lock(mutex_);
     history_.push_back(published);

@@ -28,6 +28,7 @@
 
 #include "graph/csr_graph.h"
 #include "graph/graph.h"
+#include "graph/shard_plan.h"
 
 namespace dmf {
 
@@ -37,10 +38,14 @@ namespace dmf {
 // Capacity-only batches republish the previous snapshot's packed
 // adjacency arrays unchanged; node-only batches reuse the half-edge
 // arrays and re-derive the offsets; only batches that add edges pay a
-// full O(n + m) repack.
+// full O(n + m) repack. The locality shard plan (graph/shard_plan.h)
+// rides along under the same reuse discipline: capacity-only shares the
+// previous plan, node-only extends it with singleton clusters, topology
+// recomputes the decomposition.
 struct GraphSnapshot {
   std::shared_ptr<const Graph> graph;
   std::shared_ptr<const CsrGraph> csr;
+  std::shared_ptr<const ShardPlan> plan;
   GraphVersion version = 0;
 };
 

@@ -1,0 +1,158 @@
+#include "graph/shard_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "graph/multigraph.h"
+#include "lsst/split_graph.h"
+#include "util/rng.h"
+
+namespace dmf {
+
+namespace {
+
+// Fixed plan seed: the decomposition must be a pure function of the
+// snapshot's topology so every engine (at any shard count) derives the
+// same clusters from the same snapshot.
+constexpr std::uint64_t kShardPlanSeed = 0x51a9d5eedULL;
+
+// Target cluster radius. Grows sublinearly so plans keep a healthy
+// cluster count (enough to balance across shards) while clusters stay
+// large enough that terminal pairs of a locality-friendly workload fall
+// inside one.
+double plan_radius(NodeId n) {
+  return std::max(2.0, std::cbrt(static_cast<double>(n)));
+}
+
+}  // namespace
+
+std::shared_ptr<const ShardPlan> ShardPlan::build(const Graph& g) {
+  auto plan = std::make_shared<ShardPlan>();
+  const NodeId n = g.num_nodes();
+  if (n == 0) return plan;
+  const Multigraph mg = Multigraph::from_graph(g);
+  const std::vector<char> allowed(mg.num_edges(), 1);
+  Rng rng(kShardPlanSeed);
+  SplitResult split = split_graph(mg, allowed, plan_radius(n), rng);
+  plan->cluster = std::move(split.cluster);
+  plan->num_clusters = split.count;
+  plan->rounds = split.rounds;
+  return plan;
+}
+
+std::shared_ptr<const ShardPlan> ShardPlan::extend(const ShardPlan& prev,
+                                                   NodeId num_nodes) {
+  DMF_REQUIRE(static_cast<std::size_t>(num_nodes) >= prev.cluster.size(),
+              "ShardPlan::extend: node count shrank");
+  auto plan = std::make_shared<ShardPlan>();
+  plan->cluster = prev.cluster;
+  plan->num_clusters = prev.num_clusters;
+  plan->rounds = prev.rounds;
+  plan->cluster.reserve(static_cast<std::size_t>(num_nodes));
+  while (plan->cluster.size() < static_cast<std::size_t>(num_nodes)) {
+    plan->cluster.push_back(plan->num_clusters++);
+  }
+  return plan;
+}
+
+ShardAssignment::ShardAssignment(const ShardPlan& plan, int num_shards,
+                                 const CsrGraph& csr)
+    : num_shards_(num_shards) {
+  DMF_REQUIRE(num_shards > 0, "ShardAssignment: num_shards must be positive");
+  DMF_REQUIRE(plan.cluster.size() ==
+                  static_cast<std::size_t>(csr.num_nodes()),
+              "ShardAssignment: plan does not match graph");
+  const std::size_t n = plan.cluster.size();
+
+  // Cluster sizes, then the deterministic greedy fold: biggest clusters
+  // first, each onto the least-loaded shard (ties to the lowest id).
+  std::vector<NodeId> cluster_size(
+      static_cast<std::size_t>(plan.num_clusters), 0);
+  for (const int c : plan.cluster) {
+    ++cluster_size[static_cast<std::size_t>(c)];
+  }
+  std::vector<int> order(static_cast<std::size_t>(plan.num_clusters));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const NodeId sa = cluster_size[static_cast<std::size_t>(a)];
+    const NodeId sb = cluster_size[static_cast<std::size_t>(b)];
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  std::vector<NodeId> load(static_cast<std::size_t>(num_shards), 0);
+  std::vector<int> cluster_shard(static_cast<std::size_t>(plan.num_clusters),
+                                 0);
+  for (const int c : order) {
+    int best = 0;
+    for (int s = 1; s < num_shards; ++s) {
+      if (load[static_cast<std::size_t>(s)] <
+          load[static_cast<std::size_t>(best)]) {
+        best = s;
+      }
+    }
+    cluster_shard[static_cast<std::size_t>(c)] = best;
+    load[static_cast<std::size_t>(best)] +=
+        cluster_size[static_cast<std::size_t>(c)];
+  }
+
+  node_shard_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    node_shard_[v] =
+        cluster_shard[static_cast<std::size_t>(plan.cluster[v])];
+  }
+
+  // Slices: per-shard induced subgraphs (local node ids in ascending
+  // global order, internal edges in ascending global edge-id order).
+  slices_.resize(static_cast<std::size_t>(num_shards));
+  std::vector<NodeId> local_id(n, kInvalidNode);
+  for (std::size_t v = 0; v < n; ++v) {
+    Slice& slice = slices_[static_cast<std::size_t>(node_shard_[v])];
+    local_id[v] = static_cast<NodeId>(slice.nodes.size());
+    slice.nodes.push_back(static_cast<NodeId>(v));
+  }
+  std::vector<Graph> locals;
+  locals.reserve(slices_.size());
+  for (const Slice& slice : slices_) {
+    Graph g;
+    if (!slice.nodes.empty()) {
+      g.add_nodes(static_cast<NodeId>(slice.nodes.size()));
+    }
+    locals.push_back(std::move(g));
+  }
+  for (EdgeId e = 0; e < csr.num_edges(); ++e) {
+    const EdgeEndpoints ep = csr.endpoints(e);
+    const int su = node_shard_[static_cast<std::size_t>(ep.u)];
+    const int sv = node_shard_[static_cast<std::size_t>(ep.v)];
+    if (su == sv) {
+      Slice& slice = slices_[static_cast<std::size_t>(su)];
+      ++slice.internal_edges;
+      locals[static_cast<std::size_t>(su)].add_edge(
+          local_id[static_cast<std::size_t>(ep.u)],
+          local_id[static_cast<std::size_t>(ep.v)], csr.capacity(e));
+    } else {
+      ++slices_[static_cast<std::size_t>(su)].boundary_edges;
+      ++slices_[static_cast<std::size_t>(sv)].boundary_edges;
+    }
+  }
+  for (std::size_t s = 0; s < slices_.size(); ++s) {
+    slices_[s].csr = std::make_shared<const CsrGraph>(
+        std::make_shared<const Graph>(std::move(locals[s])));
+  }
+}
+
+double ShardAssignment::locality() const {
+  EdgeId internal = 0;
+  EdgeId boundary_halves = 0;
+  for (const Slice& slice : slices_) {
+    internal += slice.internal_edges;
+    boundary_halves += slice.boundary_edges;
+  }
+  const double total =
+      static_cast<double>(internal) + static_cast<double>(boundary_halves) / 2.0;
+  return total > 0.0 ? static_cast<double>(internal) / total : 1.0;
+}
+
+}  // namespace dmf

@@ -1,0 +1,99 @@
+// Locality shard plan: the paper's own low-diameter decomposition
+// (Algorithm SplitGraph, Figure 4 — the LSST/cluster machinery) reused
+// as the partitioning basis of the sharded serving engine.
+//
+// A ShardPlan is packed at snapshot-publish time next to the CsrGraph
+// (see GraphStore::apply): one cluster label per node, produced by
+// split_graph over the unweighted multigraph lift with a fixed,
+// content-independent seed. The plan is shard-count independent —
+// clusters are the unit of placement, and a ShardAssignment folds them
+// into K shards deterministically (largest cluster first onto the
+// least-loaded shard), so any engine can derive the same node -> shard
+// map for its K from the same snapshot.
+//
+// Reuse mirrors the CSR rules: capacity-only batches share the previous
+// plan outright (SplitGraph's BFS is unweighted, so capacities cannot
+// change it), node-only batches extend it with singleton clusters for
+// the new nodes, and only topology batches recompute the decomposition.
+//
+// Determinism note: the plan influences WHERE a query executes (which
+// shard's pipeline) and never WHAT it computes — query results are
+// derived from the snapshot and query content alone — so plan choice,
+// like scheduling, is invisible in results.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/graph.h"
+
+namespace dmf {
+
+struct ShardPlan {
+  // Cluster label per node, in [0, num_clusters). Every node is covered.
+  std::vector<int> cluster;
+  int num_clusters = 0;
+  // Simulated CONGEST rounds the decomposition consumed (split_graph's
+  // accounting; informational).
+  double rounds = 0.0;
+
+  // Decompose `g` with the fixed plan seed. Deterministic in the graph's
+  // topology (capacities do not participate).
+  [[nodiscard]] static std::shared_ptr<const ShardPlan> build(const Graph& g);
+
+  // Node-only extension: labels of existing nodes are preserved and each
+  // new node in [prev.cluster.size(), num_nodes) becomes its own
+  // singleton cluster.
+  [[nodiscard]] static std::shared_ptr<const ShardPlan> extend(
+      const ShardPlan& prev, NodeId num_nodes);
+};
+
+// A plan folded onto K shards, with the per-shard induced CSR slices the
+// pinned workers own. Cluster-atomic: all nodes of one cluster land on
+// one shard, so the decomposition's low cut probability bounds the
+// cross-shard edge fraction.
+class ShardAssignment {
+ public:
+  struct Slice {
+    // Global node ids owned by this shard, ascending; local id = index.
+    std::vector<NodeId> nodes;
+    // Induced subgraph over `nodes` (local ids, internal edges only, in
+    // ascending global edge-id order) packed as a CSR — the worker's own
+    // flat view of its territory.
+    std::shared_ptr<const CsrGraph> csr;
+    EdgeId internal_edges = 0;  // both endpoints on this shard
+    EdgeId boundary_edges = 0;  // exactly one endpoint on this shard
+  };
+
+  // Folds plan clusters into `num_shards` bins: clusters sorted by
+  // (size desc, id asc), each placed on the least-loaded shard (ties to
+  // the lowest shard id). Deterministic; num_shards must be positive.
+  ShardAssignment(const ShardPlan& plan, int num_shards, const CsrGraph& csr);
+
+  [[nodiscard]] int num_shards() const { return num_shards_; }
+
+  // Owning shard of `v`; nodes outside the plan (including invalid ids —
+  // the router runs before query validation) map to shard 0.
+  [[nodiscard]] int shard_of(NodeId v) const {
+    if (v < 0 || static_cast<std::size_t>(v) >= node_shard_.size()) return 0;
+    return node_shard_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] const Slice& slice(int shard) const {
+    DMF_REQUIRE(shard >= 0 && shard < num_shards_,
+                "ShardAssignment::slice: bad shard");
+    return slices_[static_cast<std::size_t>(shard)];
+  }
+
+  // Fraction of edges internal to some shard (1.0 on an edgeless graph):
+  // the locality the terminal router can exploit.
+  [[nodiscard]] double locality() const;
+
+ private:
+  int num_shards_ = 0;
+  std::vector<int> node_shard_;
+  std::vector<Slice> slices_;
+};
+
+}  // namespace dmf

@@ -1,0 +1,96 @@
+// Bounded single-producer single-consumer ring — the lock-free handoff
+// primitive of the sharded engine pipelines (NDN-DPDK's per-lcore queue
+// shape: one router thread feeds, one pinned worker drains, neither ever
+// takes a lock on the hot path).
+//
+// Contract: try_push is called by at most one thread at a time (the
+// producer side), try_pop by at most one thread at a time (the consumer
+// side). The two sides never block each other: head_ and tail_ are
+// monotone counters on separate cache lines, each side caches the other
+// side's last-seen value and re-reads it only when the cached view says
+// the ring is full/empty. close() is safe from any thread; it fails all
+// future pushes while letting the consumer drain what is already in
+// flight — shutdown never strands an element inside the ring.
+//
+// Capacity is exact (a capacity-1 ring alternates strictly), and slots
+// hold T by value; pushes move in, pops move out, so a ring of
+// shared_ptr task handles releases its references as they drain.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/require.h"
+
+namespace dmf {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(capacity), slots_(capacity) {
+    DMF_REQUIRE(capacity > 0, "SpscRing: capacity must be positive");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. False when the ring is full or closed; the element
+  // is left untouched in that case (the caller keeps ownership).
+  bool try_push(T& value) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity_) return false;
+    }
+    slots_[static_cast<std::size_t>(tail % capacity_)] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. False when the ring is empty (closed rings keep
+  // draining until empty).
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head >= tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head >= tail_cache_) return false;
+    }
+    out = std::move(slots_[static_cast<std::size_t>(head % capacity_)]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Fail all future pushes. Elements already inside stay poppable —
+  // the shutdown path closes, then drains, so nothing is stranded.
+  void close() { closed_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  // Racy snapshot (either side may be mid-move); for stats/backpressure
+  // heuristics only, never for correctness decisions.
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+  [[nodiscard]] bool empty_approx() const { return size_approx() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  std::vector<T> slots_;
+  // Consumer cache line: the pop cursor plus its cached view of tail_.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t tail_cache_ = 0;
+  // Producer cache line: the push cursor plus its cached view of head_.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t head_cache_ = 0;
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace dmf

@@ -1,0 +1,518 @@
+// Tests for the sharded execution path: the ShardPlan reuse ladder on
+// GraphStore snapshots, ShardAssignment invariants (cluster atomicity,
+// slice consistency, locality), the ShardedDispatcher task lifecycle
+// (per-lane FIFO, backpressure, cancel/parked/shutdown semantics), and
+// the engine-level contract — results bitwise identical at every shard
+// count, replay-store and routing stats accounting, min_version parking
+// on the sharded backend.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/shard_exec.h"
+#include "graph/generators.h"
+#include "graph/graph_store.h"
+#include "graph/shard_plan.h"
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace dmf {
+namespace {
+
+// A latch to hold a shard worker hostage deterministically.
+class Gate {
+ public:
+  void open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+// --- shard plan --------------------------------------------------------------
+
+TEST(ShardPlan, DeterministicAndContentDerived) {
+  Rng rng(7);
+  const Graph g = make_gnp_connected(80, 0.08, {1, 8}, rng);
+  const auto a = ShardPlan::build(g);
+  const auto b = ShardPlan::build(g);
+  ASSERT_EQ(a->cluster.size(), static_cast<std::size_t>(g.num_nodes()));
+  EXPECT_GT(a->num_clusters, 1);
+  EXPECT_EQ(a->cluster, b->cluster);  // pure function of the topology
+  EXPECT_EQ(a->num_clusters, b->num_clusters);
+  for (const int c : a->cluster) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, a->num_clusters);
+  }
+}
+
+TEST(ShardPlan, SnapshotReuseLadder) {
+  Rng rng(11);
+  GraphStore store(make_gnp_connected(60, 0.1, {1, 8}, rng));
+  const GraphSnapshot base = store.snapshot();
+  ASSERT_NE(base.plan, nullptr);
+
+  // Capacity-only: the (unweighted) decomposition cannot change, the
+  // plan object is shared as-is.
+  const GraphSnapshot cap = store.apply(MutationBatch{}.set_capacity(0, 5.0));
+  EXPECT_EQ(cap.plan.get(), base.plan.get());
+
+  // Node-only: previous clusters survive, new nodes become singletons.
+  const GraphSnapshot grown = store.apply(MutationBatch{}.add_nodes(3));
+  ASSERT_EQ(grown.plan->cluster.size(),
+            static_cast<std::size_t>(grown.graph->num_nodes()));
+  for (std::size_t v = 0; v < base.plan->cluster.size(); ++v) {
+    EXPECT_EQ(grown.plan->cluster[v], base.plan->cluster[v]);
+  }
+  EXPECT_EQ(grown.plan->num_clusters, base.plan->num_clusters + 3);
+
+  // Topology: recomputed, and identical to a from-scratch build on the
+  // same graph (the seed is fixed and content-independent).
+  const GraphSnapshot rewired =
+      store.apply(MutationBatch{}.add_edge(0, 30, 2.0));
+  const auto fresh = ShardPlan::build(*rewired.graph);
+  EXPECT_EQ(rewired.plan->cluster, fresh->cluster);
+  EXPECT_EQ(rewired.plan->num_clusters, fresh->num_clusters);
+}
+
+TEST(ShardAssignment, SliceInvariantsAndClusterAtomicity) {
+  Rng rng(13);
+  const Graph g = make_gnp_connected(90, 0.07, {1, 8}, rng);
+  const auto csr = CsrGraph(std::make_shared<const Graph>(g));
+  const auto plan = ShardPlan::build(g);
+  for (const int k : {1, 2, 3, 5}) {
+    const ShardAssignment assignment(*plan, k, csr);
+    ASSERT_EQ(assignment.num_shards(), k);
+    NodeId total_nodes = 0;
+    EdgeId internal = 0;
+    EdgeId boundary_halves = 0;
+    for (int s = 0; s < k; ++s) {
+      const ShardAssignment::Slice& slice = assignment.slice(s);
+      total_nodes += static_cast<NodeId>(slice.nodes.size());
+      internal += slice.internal_edges;
+      boundary_halves += slice.boundary_edges;
+      // The slice CSR is the induced subgraph of the slice's nodes.
+      EXPECT_EQ(slice.csr->num_nodes(),
+                static_cast<NodeId>(slice.nodes.size()));
+      EXPECT_EQ(slice.csr->num_edges(), slice.internal_edges);
+      for (const NodeId v : slice.nodes) {
+        EXPECT_EQ(assignment.shard_of(v), s);
+      }
+    }
+    EXPECT_EQ(total_nodes, g.num_nodes());
+    // Every edge is either internal to exactly one shard or counted as
+    // a boundary half by exactly two.
+    EXPECT_EQ(internal + boundary_halves / 2, g.num_edges());
+    EXPECT_EQ(boundary_halves % 2, 0);
+    // Cluster atomicity: the plan's clusters are never split.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (plan->cluster[static_cast<std::size_t>(v)] ==
+            plan->cluster[static_cast<std::size_t>(u)]) {
+          ASSERT_EQ(assignment.shard_of(v), assignment.shard_of(u));
+        }
+      }
+    }
+    EXPECT_GE(assignment.locality(), 0.0);
+    EXPECT_LE(assignment.locality(), 1.0);
+    if (k == 1) {
+      EXPECT_EQ(assignment.locality(), 1.0);
+      EXPECT_EQ(boundary_halves, 0);
+    }
+    // Out-of-range ids route to shard 0 (where validation rejects them).
+    EXPECT_EQ(assignment.shard_of(kInvalidNode), 0);
+    EXPECT_EQ(assignment.shard_of(g.num_nodes()), 0);
+  }
+}
+
+// --- sharded dispatcher ------------------------------------------------------
+
+ShardedDispatcher::Options dispatcher_options(int shards,
+                                              std::size_t capacity) {
+  ShardedDispatcher::Options options;
+  options.num_shards = shards;
+  options.ring_capacity = capacity;
+  options.pin_threads = false;  // irrelevant under test, keep it quiet
+  return options;
+}
+
+TEST(ShardedDispatcher, PerLaneFifoWithBackpressure) {
+  ShardedDispatcher dispatcher(dispatcher_options(2, 2));
+  std::vector<int> order_lane0;  // touched only by lane 0's worker
+  std::vector<int> order_lane1;
+  constexpr int kTasks = 100;
+  for (int i = 0; i < kTasks; ++i) {
+    dispatcher.dispatch(
+        0, [&order_lane0, i] { order_lane0.push_back(i); },
+        [](ErrorCode) {}, /*lane=*/0);
+    dispatcher.dispatch(
+        0, [&order_lane1, i] { order_lane1.push_back(i); },
+        [](ErrorCode) {}, /*lane=*/1);
+  }
+  dispatcher.wait_all();
+  ASSERT_EQ(order_lane0.size(), static_cast<std::size_t>(kTasks));
+  ASSERT_EQ(order_lane1.size(), static_cast<std::size_t>(kTasks));
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(order_lane0[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(order_lane1[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_EQ(dispatcher.lane_stats(0).executed, kTasks);
+  EXPECT_EQ(dispatcher.lane_stats(1).executed, kTasks);
+  EXPECT_EQ(dispatcher.lane_stats(0).queue_depth, 0u);
+  EXPECT_EQ(dispatcher.cancelled_count(), 0);
+  EXPECT_EQ(dispatcher.threads(), 2);
+}
+
+TEST(ShardedDispatcher, CancelQueuedTaskNeverRuns) {
+  ShardedDispatcher dispatcher(dispatcher_options(1, 8));
+  Gate gate;
+  std::atomic<int> ran{0};
+  std::atomic<int> cancel_code{-1};
+  dispatcher.dispatch(0, [&gate] { gate.wait(); }, [](ErrorCode) {}, 0);
+  const std::uint64_t id = dispatcher.dispatch(
+      0, [&ran] { ran.fetch_add(1); },
+      [&cancel_code](ErrorCode c) { cancel_code = static_cast<int>(c); }, 0);
+  EXPECT_TRUE(dispatcher.cancel(id));
+  EXPECT_FALSE(dispatcher.cancel(id));  // already resolved
+  gate.open();
+  dispatcher.wait_all();
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(cancel_code.load(), static_cast<int>(ErrorCode::kCancelled));
+  EXPECT_EQ(dispatcher.cancelled_count(), 1);
+}
+
+TEST(ShardedDispatcher, ParkedReleaseAndFail) {
+  ShardedDispatcher dispatcher(dispatcher_options(1, 8));
+  std::atomic<int> ran{0};
+  std::atomic<int> failed_code{-1};
+  const std::uint64_t runs = dispatcher.dispatch_parked(
+      0, [&ran] { ran.fetch_add(1); }, [](ErrorCode) {}, 0);
+  const std::uint64_t fails = dispatcher.dispatch_parked(
+      0, [&ran] { ran.fetch_add(1); },
+      [&failed_code](ErrorCode c) { failed_code = static_cast<int>(c); }, 0);
+  EXPECT_TRUE(dispatcher.release(runs));
+  EXPECT_FALSE(dispatcher.release(runs));  // no longer parked
+  EXPECT_TRUE(dispatcher.fail_parked(fails, ErrorCode::kVersionUnavailable));
+  EXPECT_FALSE(dispatcher.fail_parked(fails, ErrorCode::kVersionUnavailable));
+  dispatcher.wait_all();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(failed_code.load(),
+            static_cast<int>(ErrorCode::kVersionUnavailable));
+}
+
+TEST(ShardedDispatcher, ControlLaneRunsOffTheQueryLanes) {
+  ShardedDispatcher dispatcher(dispatcher_options(1, 4));
+  Gate gate;
+  std::atomic<int> control_ran{0};
+  // Lane 0 is hostage; the control task must still run (its own thread).
+  dispatcher.dispatch(0, [&gate] { gate.wait(); }, [](ErrorCode) {}, 0);
+  dispatcher.dispatch(
+      0, [&control_ran, &gate] {
+        control_ran.fetch_add(1);
+        gate.open();  // the control lane unblocks the query lane
+      },
+      [](ErrorCode) {}, QueryDispatcher::kControlLane);
+  dispatcher.wait_all();
+  EXPECT_EQ(control_ran.load(), 1);
+}
+
+TEST(ShardedDispatcher, ShutdownResolvesQueuedAndParked) {
+  std::atomic<int> queued_code{-1};
+  std::atomic<int> parked_code{-1};
+  std::atomic<int> ran{0};
+  {
+    ShardedDispatcher dispatcher(dispatcher_options(1, 8));
+    Gate gate;
+    dispatcher.dispatch(0, [&gate] { gate.wait(); }, [](ErrorCode) {}, 0);
+    dispatcher.dispatch(
+        0, [&ran] { ran.fetch_add(1); },
+        [&queued_code](ErrorCode c) { queued_code = static_cast<int>(c); },
+        0);
+    dispatcher.dispatch_parked(
+        0, [&ran] { ran.fetch_add(1); },
+        [&parked_code](ErrorCode c) { parked_code = static_cast<int>(c); },
+        0);
+    // Shutdown on this thread while the lane is hostage: it closes the
+    // rings immediately (nothing blocks before the close), then joins
+    // the worker — which the helper unblocks shortly after. The queued
+    // task is behind a closed ring by then and must resolve without
+    // running.
+    std::thread opener([&gate] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      gate.open();
+    });
+    dispatcher.shutdown();
+    opener.join();
+  }
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(queued_code.load(), static_cast<int>(ErrorCode::kShutdown));
+  EXPECT_EQ(parked_code.load(),
+            static_cast<int>(ErrorCode::kVersionUnavailable));
+}
+
+TEST(ShardedDispatcher, DispatchAfterShutdownThrows) {
+  ShardedDispatcher dispatcher(dispatcher_options(1, 4));
+  dispatcher.shutdown();
+  EXPECT_THROW(dispatcher.dispatch(0, [] {}, [](ErrorCode) {}, 0),
+               RequirementError);
+}
+
+// --- engine-level sharding ---------------------------------------------------
+
+EngineOptions shard_options(int shards) {
+  EngineOptions options;
+  options.shards = shards;
+  options.threads = 2;
+  options.sherman.num_trees = 4;
+  options.seed = 42424242;
+  options.exact_cutoff_nodes = 16;
+  options.pin_shard_threads = false;
+  return options;
+}
+
+struct CollectedResults {
+  std::vector<Result<MaxFlowApproxResult>> max_flows;
+  Result<RouteResult> route;
+  Result<MultiTerminalMaxFlowResult> multi;
+  Result<CongestRunResult> congest;
+};
+
+CollectedResults run_workload(FlowEngine& engine, const Graph& g,
+                              const std::vector<MaxFlowQuery>& queries,
+                              const std::vector<std::size_t>& order) {
+  RouteQuery route;
+  route.demand.assign(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  route.demand.front() = 2.0;
+  route.demand.back() = -2.0;
+  const MultiTerminalQuery multi{{0, 1, 2}, {static_cast<NodeId>(g.num_nodes() - 2),
+                                             static_cast<NodeId>(g.num_nodes() - 1)},
+                                 0.0,
+                                 false};
+  const CongestQuery congest{0, static_cast<NodeId>(g.num_nodes() - 1), 0, 1};
+
+  CollectedResults out;
+  std::vector<MaxFlowTicket> tickets(queries.size());
+  RouteTicket route_ticket = engine.submit(route);
+  MultiTerminalTicket multi_ticket = engine.submit(multi);
+  CongestTicket congest_ticket = engine.submit(congest);
+  for (const std::size_t i : order) {
+    tickets[i] = engine.submit(queries[i]);
+  }
+  for (MaxFlowTicket& t : tickets) out.max_flows.push_back(t.get());
+  out.route = route_ticket.get();
+  out.multi = multi_ticket.get();
+  out.congest = congest_ticket.get();
+  return out;
+}
+
+// The acceptance-criterion property: results are bitwise identical at
+// every shard count (0 = the classic pool) under submission-order
+// permutation, including repeated queries that the sharded backend
+// serves from its replay store.
+TEST(FlowEngineSharded, ShardCountAndPermutationBitwiseDeterminism) {
+  Rng rng(909);
+  const Graph g = make_gnp_connected(70, 0.09, {1, 9}, rng);
+  std::vector<MaxFlowQuery> queries;
+  for (int i = 0; i < 6; ++i) {
+    queries.push_back(
+        MaxFlowQuery{static_cast<NodeId>(i), static_cast<NodeId>(69 - i)});
+  }
+  // Repeats: the sharded backend replays these from the result store —
+  // the replay must be indistinguishable from recomputation.
+  for (int i = 0; i < 3; ++i) {
+    queries.push_back(queries[static_cast<std::size_t>(i)]);
+  }
+
+  std::vector<std::size_t> natural(queries.size());
+  for (std::size_t i = 0; i < natural.size(); ++i) natural[i] = i;
+
+  CollectedResults reference;
+  {
+    FlowEngine engine(g, shard_options(0));
+    reference = run_workload(engine, g, queries, natural);
+  }
+  for (const auto& r : reference.max_flows) ASSERT_TRUE(r.ok()) << r.message;
+  ASSERT_TRUE(reference.route.ok()) << reference.route.message;
+  ASSERT_TRUE(reference.multi.ok()) << reference.multi.message;
+  ASSERT_TRUE(reference.congest.ok()) << reference.congest.message;
+
+  Rng shuffle_rng(345);
+  for (const int shards : {1, 2, 3, 4}) {
+    for (int round = 0; round < 2; ++round) {
+      std::vector<std::size_t> perm = natural;
+      if (round > 0) shuffle_rng.shuffle(perm);
+      FlowEngine engine(g, shard_options(shards));
+      const CollectedResults got = run_workload(engine, g, queries, perm);
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        ASSERT_TRUE(got.max_flows[i].ok()) << got.max_flows[i].message;
+        EXPECT_EQ(got.max_flows[i].solver, reference.max_flows[i].solver);
+        EXPECT_EQ(got.max_flows[i].value().value,
+                  reference.max_flows[i].value().value)
+            << "shards=" << shards << " round=" << round << " query=" << i;
+        EXPECT_EQ(got.max_flows[i].value().flow,
+                  reference.max_flows[i].value().flow);
+      }
+      ASSERT_TRUE(got.route.ok()) << got.route.message;
+      EXPECT_EQ(got.route.value().flow, reference.route.value().flow);
+      EXPECT_EQ(got.route.value().congestion,
+                reference.route.value().congestion);
+      ASSERT_TRUE(got.multi.ok()) << got.multi.message;
+      EXPECT_EQ(got.multi.value().value, reference.multi.value().value);
+      EXPECT_EQ(got.multi.value().flow, reference.multi.value().flow);
+      ASSERT_TRUE(got.congest.ok()) << got.congest.message;
+      EXPECT_EQ(got.congest.value().flow_value,
+                reference.congest.value().flow_value);
+      EXPECT_EQ(got.congest.value().stats.rounds,
+                reference.congest.value().stats.rounds);
+    }
+  }
+}
+
+TEST(FlowEngineSharded, ReplayStoreHitAccountingAndBitwiseReplay) {
+  Rng rng(505);
+  const Graph g = make_gnp_connected(60, 0.1, {1, 9}, rng);
+  FlowEngine engine(g, shard_options(2));
+  const MaxFlowQuery q{3, 57};
+  // Sequential resolution guarantees each later submission sees the
+  // earlier result in the shard's store (same content -> same lane).
+  std::vector<Result<MaxFlowApproxResult>> results;
+  for (int i = 0; i < 5; ++i) {
+    results.push_back(engine.submit(q).get());
+    ASSERT_TRUE(results.back().ok()) << results.back().message;
+  }
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].value().value,
+              results[0].value().value);
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].value().flow,
+              results[0].value().flow);
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].solver,
+              results[0].solver);
+  }
+  engine.wait_all();
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.num_shards, 2);
+  ASSERT_EQ(stats.shards.size(), 2u);
+  EXPECT_EQ(stats.result_store_misses, 1);
+  EXPECT_EQ(stats.result_store_hits, 4);
+  EXPECT_EQ(stats.queries_served, 5);  // replayed queries count as served
+}
+
+TEST(FlowEngineSharded, RoutingStatsFollowTerminalLocality) {
+  Rng rng(606);
+  const Graph g = make_gnp_connected(80, 0.08, {1, 9}, rng);
+  FlowEngine engine(g, shard_options(2));
+  const auto assignment = engine.shard_assignment();
+  ASSERT_NE(assignment, nullptr);
+
+  // Pick one same-shard pair and one cross-shard pair from the actual
+  // assignment, then check the routing counters see them that way.
+  NodeId local_s = kInvalidNode, local_t = kInvalidNode;
+  NodeId cross_s = kInvalidNode, cross_t = kInvalidNode;
+  for (NodeId u = 0; u < g.num_nodes() && (local_s == kInvalidNode ||
+                                           cross_s == kInvalidNode);
+       ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < g.num_nodes(); ++v) {
+      if (assignment->shard_of(u) == assignment->shard_of(v)) {
+        if (local_s == kInvalidNode) {
+          local_s = u;
+          local_t = v;
+        }
+      } else if (cross_s == kInvalidNode) {
+        cross_s = u;
+        cross_t = v;
+      }
+    }
+  }
+  ASSERT_NE(local_s, kInvalidNode);
+  ASSERT_NE(cross_s, kInvalidNode);
+
+  ASSERT_TRUE(engine.submit(MaxFlowQuery{local_s, local_t}).get().ok());
+  ASSERT_TRUE(engine.submit(MaxFlowQuery{cross_s, cross_t}).get().ok());
+  // get() returns at result delivery; the lane's executed counter lands
+  // just after. wait_all() orders the sample behind it.
+  engine.wait_all();
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries_routed_local, 1);
+  EXPECT_EQ(stats.queries_routed_cross, 1);
+  EXPECT_GT(stats.shard_locality, 0.0);
+  std::int64_t executed = 0;
+  for (const ShardStats& shard : stats.shards) {
+    executed += shard.executed;
+  }
+  EXPECT_EQ(executed, 2);
+}
+
+TEST(FlowEngineSharded, MinVersionParkingAndMutationOnShardedBackend) {
+  Rng rng(707);
+  FlowEngine engine(
+      std::make_shared<GraphStore>(make_gnp_connected(50, 0.12, {1, 9}, rng)),
+      shard_options(2));
+  const Result<MaxFlowApproxResult> before =
+      engine.submit(MaxFlowQuery{0, 49}).get();
+  ASSERT_TRUE(before.ok()) << before.message;
+  EXPECT_EQ(before.served_version, 0u);
+
+  MutationBatch update;
+  update.set_capacity(0, 7.0);
+  const GraphVersion v = engine.apply(update);
+  SubmitOptions fresh_only;
+  fresh_only.min_version = v;
+  MaxFlowTicket probe = engine.submit(MaxFlowQuery{0, 49}, fresh_only);
+  ASSERT_TRUE(engine.wait_for_version(v, 30.0));
+  const Result<MaxFlowApproxResult> after = probe.get();
+  ASSERT_TRUE(after.ok()) << after.message;
+  EXPECT_GE(after.served_version, v);
+  // The new generation re-derives its shard state from the new
+  // snapshot's plan (capacity-only: the same plan object).
+  EXPECT_NE(engine.shard_assignment(), nullptr);
+  const EngineStats stats = engine.stats();
+  // The probe parks only if it outran the rebuild — timing-dependent on
+  // a loaded box — so assert the bound, not the exact count.
+  EXPECT_LE(stats.queries_parked, 1);
+  EXPECT_GE(stats.rebuild.completed, 1);
+}
+
+TEST(FlowEngineSharded, ShutdownResolvesOutstandingTickets) {
+  Rng rng(808);
+  const Graph g = make_gnp_connected(50, 0.12, {1, 9}, rng);
+  std::vector<MaxFlowTicket> tickets;
+  {
+    FlowEngine engine(g, shard_options(2));
+    for (int i = 0; i < 32; ++i) {
+      tickets.push_back(engine.submit(MaxFlowQuery{0, 49}));
+    }
+    // Engine destroyed with work possibly still queued.
+  }
+  int resolved_ok = 0;
+  int resolved_shutdown = 0;
+  for (MaxFlowTicket& t : tickets) {
+    const Result<MaxFlowApproxResult> r = t.get();
+    if (r.ok()) {
+      ++resolved_ok;
+    } else {
+      EXPECT_EQ(r.code, ErrorCode::kShutdown);
+      ++resolved_shutdown;
+    }
+  }
+  EXPECT_EQ(resolved_ok + resolved_shutdown, 32);
+}
+
+}  // namespace
+}  // namespace dmf

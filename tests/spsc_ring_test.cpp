@@ -1,0 +1,140 @@
+// Tests for the bounded single-producer/single-consumer ring
+// (util/spsc_ring.h): FIFO order across index wraparound, capacity-1
+// thrash, failed pushes never consuming the value, close() semantics
+// (pushes fail, draining continues), and a two-thread ordering run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/require.h"
+#include "util/spsc_ring.h"
+
+namespace dmf {
+namespace {
+
+TEST(SpscRing, RejectsZeroCapacity) {
+  EXPECT_THROW(SpscRing<int>(0), RequirementError);
+}
+
+TEST(SpscRing, FifoAcrossWraparound) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  int next_push = 0;
+  int next_pop = 0;
+  // Cycle far past the capacity so head/tail wrap the buffer many
+  // times; order must stay FIFO throughout.
+  for (int round = 0; round < 100; ++round) {
+    while (true) {
+      int v = next_push;
+      if (!ring.try_push(v)) break;
+      ++next_push;
+    }
+    EXPECT_EQ(ring.size_approx(), 4u);
+    int out = -1;
+    while (ring.try_pop(out)) {
+      EXPECT_EQ(out, next_pop);
+      ++next_pop;
+    }
+    EXPECT_TRUE(ring.empty_approx());
+  }
+  EXPECT_EQ(next_push, next_pop);
+  EXPECT_EQ(next_push, 400);
+}
+
+TEST(SpscRing, CapacityOneThrash) {
+  SpscRing<int> ring(1);
+  for (int i = 0; i < 1000; ++i) {
+    int v = i;
+    ASSERT_TRUE(ring.try_push(v));
+    int full = -1;
+    EXPECT_FALSE(ring.try_push(full));
+    EXPECT_EQ(full, -1);  // failed push must not consume the value
+    int out = -1;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+    EXPECT_FALSE(ring.try_pop(out));
+  }
+}
+
+TEST(SpscRing, FailedPushKeepsMoveOnlyValue) {
+  SpscRing<std::unique_ptr<int>> ring(1);
+  auto a = std::make_unique<int>(7);
+  ASSERT_TRUE(ring.try_push(a));
+  EXPECT_EQ(a, nullptr);  // consumed on success
+  auto b = std::make_unique<int>(9);
+  EXPECT_FALSE(ring.try_push(b));
+  ASSERT_NE(b, nullptr);  // retained on failure
+  EXPECT_EQ(*b, 9);
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(SpscRing, CloseFailsPushesButDrains) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) {
+    int v = i;
+    ASSERT_TRUE(ring.try_push(v));
+  }
+  // Shutdown while full: close with a full ring, then drain.
+  EXPECT_FALSE(ring.closed());
+  ring.close();
+  EXPECT_TRUE(ring.closed());
+  int rejected = 99;
+  EXPECT_FALSE(ring.try_push(rejected));
+  EXPECT_EQ(rejected, 99);
+  for (int i = 0; i < 4; ++i) {
+    int out = -1;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+    // Space freed by the drain is still not pushable after close.
+    int again = 42;
+    EXPECT_FALSE(ring.try_push(again));
+  }
+  int out = -1;
+  EXPECT_FALSE(ring.try_pop(out));
+  ring.close();  // idempotent
+  EXPECT_TRUE(ring.closed());
+}
+
+TEST(SpscRing, ProducerConsumerOrdering) {
+  SpscRing<std::uint64_t> ring(8);
+  constexpr std::uint64_t kCount = 200000;
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kCount;) {
+      std::uint64_t v = i;
+      if (ring.try_push(v)) {
+        ++i;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    ring.close();
+  });
+  std::vector<std::uint64_t> seen;
+  seen.reserve(kCount);
+  for (;;) {
+    std::uint64_t out = 0;
+    if (ring.try_pop(out)) {
+      seen.push_back(out);
+    } else if (ring.closed()) {
+      // Closed AND a final failed pop: the producer is done (close
+      // happens after its last push) so the ring is truly drained.
+      if (!ring.try_pop(out)) break;
+      seen.push_back(out);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  ASSERT_EQ(seen.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(seen[i], i) << "out-of-order at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dmf
