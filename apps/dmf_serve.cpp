@@ -10,10 +10,18 @@
 //   dmf-serve [--port N] [--binary-port N] [--grid WxH | --gnp N P]
 //             [--trees K] [--threads T] [--shards K] [--max-in-flight N]
 //             [--tenant-qps R] [--deadline-ms D] [--seed S]
+//             [--data-dir DIR]
 //
 // --shards K > 0 swaps the engine's single worker pool for K per-core
 // run-to-completion pipelines (terminal-locality routed; see
 // engine/shard_exec.h); /v1/stats then carries a per-shard breakdown.
+//
+// --data-dir DIR makes the store durable: every published snapshot (and
+// the hierarchy serving it) is persisted as mmap arena files under DIR
+// before the mutate returns. When DIR already holds a store, it is
+// reopened instead of generating a graph — the synthetic-graph flags
+// are ignored and the first query is served from the persisted
+// hierarchy with zero rebuilds (even after a SIGKILL).
 //
 // With --port 0 the kernel picks a port; it is printed on stdout as
 //   dmf-serve listening http=PORT binary=PORT
@@ -23,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "engine/engine.h"
@@ -61,6 +70,7 @@ int main(int argc, char** argv) {
   double tenant_qps = 0.0;
   double deadline_ms = 0.0;
   std::uint64_t seed = 1;
+  std::string data_dir;
 
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -92,23 +102,42 @@ int main(int argc, char** argv) {
       deadline_ms = arg_number(argc, argv, &i, a);
     } else if (std::strcmp(a, "--seed") == 0) {
       seed = static_cast<std::uint64_t>(arg_number(argc, argv, &i, a));
+    } else if (std::strcmp(a, "--data-dir") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dmf-serve: --data-dir needs a value\n");
+        return 2;
+      }
+      data_dir = argv[++i];
     } else {
       std::fprintf(stderr, "dmf-serve: unknown flag %s\n", a);
       return 2;
     }
   }
 
-  dmf::Rng rng(seed);
-  dmf::Graph graph =
-      use_gnp ? dmf::make_gnp_connected(gnp_n, gnp_p, {1, 64}, rng)
-              : dmf::make_grid(grid_w, grid_h, {1, 64}, rng);
+  dmf::GraphStoreOptions gopts;
+  gopts.data_dir = data_dir;
+  if (!data_dir.empty()) gopts.persist = dmf::PersistPolicy::kOnPublish;
+
+  std::shared_ptr<dmf::GraphStore> store;
+  if (!data_dir.empty() && dmf::GraphStore::can_open(data_dir)) {
+    store = dmf::GraphStore::open(data_dir, gopts);
+    std::fprintf(stderr, "dmf-serve: reopened %s at version %llu\n",
+                 data_dir.c_str(),
+                 static_cast<unsigned long long>(store->latest_version()));
+  } else {
+    dmf::Rng rng(seed);
+    dmf::Graph graph =
+        use_gnp ? dmf::make_gnp_connected(gnp_n, gnp_p, {1, 64}, rng)
+                : dmf::make_grid(grid_w, grid_h, {1, 64}, rng);
+    store = std::make_shared<dmf::GraphStore>(std::move(graph), gopts);
+  }
 
   dmf::EngineOptions eopts;
   eopts.sherman.num_trees = trees;
   eopts.threads = threads;
   eopts.shards = shards;
   eopts.seed = seed;
-  dmf::FlowEngine engine(std::move(graph), eopts);
+  dmf::FlowEngine engine(store, eopts);
 
   dmf::serve::ServeAppOptions sopts;
   sopts.http.http_port = http_port;

@@ -1,0 +1,176 @@
+// E17: cold start — reopen a persisted store vs rebuild from scratch.
+//
+// The out-of-core snapshot path's thesis: with --data-dir style
+// persistence (PersistPolicy::kOnPublish), every published snapshot AND
+// the hierarchy serving it land on disk as mmap arena files, so a
+// process restart maps the saved tree arrays back in instead of
+// resampling them — the first query after a crash costs a file open,
+// not a hierarchy build. Two timed paths over the SAME final graph:
+//
+//   rebuild:   a fresh in-memory engine on a copy of the reopened
+//              snapshot's graph — pays the full hierarchy construction
+//              before it can serve. This is what every boot cost before
+//              the arena files existed.
+//   cold open: GraphStore::open(dir) + engine construction, serving
+//              from the persisted hierarchy (hierarchy_cold_loads == 1,
+//              zero rebuilds started).
+//
+// Both clocks stop at serving-ready (the constructor returning with a
+// live hierarchy): a Sherman max-flow query costs the same on either
+// side and at these sizes dwarfs the build itself, so timing
+// ctor+query would measure the query, not the boot. The query still
+// runs — untimed — on both engines and must match bitwise (the
+// persisted hierarchy IS the built one, tree for tree).
+//
+// The setup phase applies a couple of capacity batches before the
+// measurement so the reopened store walks a real manifest chain (COW
+// arenas, not just v0). `speedup` = T_rebuild / T_cold is
+// machine-class independent and is what the regression gate tracks.
+//
+// The cold open is repeated a few times and the median taken: T_cold is
+// milliseconds, so a single sample is scheduler noise.
+//
+//   ./bench_e17_cold_start [n] [trees] [seed]
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+#include "graph/graph_store.h"
+#include "util/rng.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dmf;
+  const NodeId n = argc > 1 ? std::atoi(argv[1]) : 256;
+  const int trees = argc > 2 ? std::atoi(argv[2]) : 12;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1337;
+  constexpr int kColdRepeats = 5;
+
+  bench::JsonArtifact artifact("BENCH_e17.json");
+  Rng rng(seed);
+  Graph g = bench::make_family("grid", n, rng);
+  const auto nn = static_cast<NodeId>(g.num_nodes());
+  const NodeId far_corner = nn - 1;
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("dmf_bench_e17." + std::to_string(static_cast<long long>(::getpid())));
+  std::filesystem::remove_all(dir);
+
+  EngineOptions options;
+  options.threads = 4;
+  options.sherman.num_trees = trees;
+  options.seed = seed;
+  // Route the grid through the Sherman path even at bench-smoke sizes;
+  // an exact-baseline answer would make the cold open trivially fast
+  // AND trivially meaningless (nothing persisted is exercised).
+  options.exact_cutoff_nodes = 4;
+
+  // --- setup (untimed): publish a store + hierarchy to disk. ---
+  bench::print_header("E17", "cold open vs rebuild");
+  {
+    GraphStoreOptions gopts;
+    gopts.data_dir = dir.string();
+    gopts.persist = PersistPolicy::kOnPublish;
+    auto store = std::make_shared<GraphStore>(std::move(g), gopts);
+    FlowEngine engine(store, options);
+    // Two capacity rounds: the reopened store replays a real manifest
+    // chain and the persisted hierarchy is the post-repair one.
+    for (int round = 0; round < 2; ++round) {
+      MutationBatch batch;
+      const Graph& cur = *engine.store()->snapshot().graph;
+      for (int k = 0; k < 4; ++k) {
+        const auto e = static_cast<EdgeId>(
+            (round * 7 + k * 3) % static_cast<int>(cur.num_edges()));
+        const double factor = k % 2 == 0 ? 1.25 : 0.8;
+        batch.set_capacity(e, cur.capacity(e) * factor);
+      }
+      const GraphVersion v = engine.apply(batch).version;
+      engine.wait_for_version(v);
+    }
+  }
+
+  // --- rebuild baseline: fresh engine on the same graph, no disk. ---
+  Graph final_graph = *GraphStore::open(dir.string())->snapshot().graph;
+  double rebuild_seconds = 0.0;
+  MaxFlowApproxResult want;
+  {
+    const auto start = Clock::now();
+    FlowEngine fresh(final_graph, options);
+    rebuild_seconds = seconds_since(start);  // serving-ready
+    want = fresh.submit(MaxFlowQuery{0, far_corner}).get().value();
+  }
+
+  // --- cold open: map the persisted hierarchy, serve, no rebuild. ---
+  std::vector<double> cold_samples;
+  bool bitwise = true;
+  std::int64_t cold_loads = 0;
+  std::int64_t rebuilds_started = 0;
+  for (int rep = 0; rep < kColdRepeats; ++rep) {
+    const auto start = Clock::now();
+    auto store = GraphStore::open(dir.string());
+    FlowEngine cold(store, options);
+    cold_samples.push_back(seconds_since(start));  // serving-ready
+    if (rep == 0) {
+      const MaxFlowApproxResult got =
+          cold.submit(MaxFlowQuery{0, far_corner}).get().value();
+      bitwise = got.value == want.value && got.flow == want.flow &&
+                got.alpha == want.alpha;
+    }
+    const EngineStats stats = cold.stats();
+    cold_loads = stats.hierarchy_cold_loads;
+    rebuilds_started = stats.rebuild.started;
+  }
+  std::sort(cold_samples.begin(), cold_samples.end());
+  const double cold_seconds = cold_samples[cold_samples.size() / 2];
+  const double speedup = rebuild_seconds / cold_seconds;
+  std::filesystem::remove_all(dir);
+
+  bench::print_row({"nodes", "trees", "rebuild_s", "cold_s", "speedup",
+                    "cold_loads", "bitwise"});
+  bench::print_row({bench::fmt_int(nn), bench::fmt_int(trees),
+                    bench::fmt(rebuild_seconds), bench::fmt(cold_seconds, 4),
+                    bench::fmt(speedup, 1), bench::fmt_int(cold_loads),
+                    bitwise ? "yes" : "NO"});
+  artifact.add({{"scenario", "e17_cold_open"},
+                {"n", static_cast<int>(nn)},
+                {"trees", trees},
+                {"rebuild_s", rebuild_seconds},
+                {"cold_open_s", cold_seconds},
+                {"speedup", speedup},
+                {"value_ratio", 1.0}});
+  artifact.write();
+
+  if (!bitwise) {
+    std::fprintf(stderr, "FAIL: cold answers diverge from rebuild\n");
+    return 1;
+  }
+  if (cold_loads != 1 || rebuilds_started != 0) {
+    std::fprintf(stderr,
+                 "FAIL: cold open was not rebuild-free (cold_loads=%lld, "
+                 "rebuilds_started=%lld)\n",
+                 static_cast<long long>(cold_loads),
+                 static_cast<long long>(rebuilds_started));
+    return 1;
+  }
+  return 0;
+}

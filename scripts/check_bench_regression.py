@@ -2,7 +2,7 @@
 """Benchmark regression gate.
 
 Compares the JSON artifacts a CI run just produced (BENCH_e1.json,
-BENCH_e13.json, BENCH_e14.json, BENCH_e15.json) against the committed
+BENCH_e13.json, ..., BENCH_e17.json) against the committed
 reference artifacts in bench/baselines/ and fails when throughput
 regresses beyond the threshold:
 
@@ -56,6 +56,7 @@ ARTIFACTS = [
     "BENCH_e14.json",
     "BENCH_e15.json",
     "BENCH_e16.json",
+    "BENCH_e17.json",
 ]
 METRIC = "throughput_qps"
 RATIO_METRIC = "speedup"

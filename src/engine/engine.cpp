@@ -19,6 +19,7 @@
 #include "engine/hierarchy_cache.h"
 #include "engine/shard_exec.h"
 #include "graph/flow.h"
+#include "maxflow/hierarchy_io.h"
 #include "util/rng.h"
 
 namespace dmf {
@@ -311,6 +312,13 @@ struct FlowEngine::Core {
   // build on the same snapshot.
   ShermanOptions build_sherman;
   SolverRegistry registry;
+  // --- hierarchy persistence (store has a data_dir; see hierarchy_io.h) ---
+  // Fingerprint of build_sherman + seed; a persisted hierarchy loads
+  // only when it matches, so stale saves can never serve.
+  std::uint64_t hier_fingerprint = 0;
+  // Save the hierarchy alongside every persisted snapshot (policy
+  // kOnPublish). Manual persist() saves regardless of this flag.
+  bool hier_autosave = false;
 
   // --- versioned serving state (guarded by version_mutex) ---
   // Lock order: version_mutex may be taken first and stats_mutex inside
@@ -400,14 +408,54 @@ struct FlowEngine::Core {
     }
     registry = SolverRegistry::standard(options.exact_cutoff_nodes,
                                         options.exact_epsilon);
+    hier_fingerprint = hierarchy_fingerprint(build_sherman, options.seed);
+    hier_autosave = store->persistence_enabled() &&
+                    store->options().persist == PersistPolicy::kOnPublish;
     const GraphSnapshot snap = store->snapshot();
     const auto start = std::chrono::steady_clock::now();
-    serving = build_serving(snap);
+    // Cold-start fast path: a hierarchy persisted for this exact
+    // snapshot + options maps back in with zero sampling. Any failure
+    // (corrupt file, mismatch) falls through to a normal build.
+    if (store->persistence_enabled()) {
+      try {
+        std::shared_ptr<const ShermanHierarchy> loaded =
+            load_hierarchy(store->data_dir(), snap, hier_fingerprint,
+                           store->options().verify_checksums);
+        if (loaded != nullptr) {
+          serving = std::make_shared<const Serving>(
+              snap, std::move(loaded), options.sherman,
+              options.hierarchy_cache_capacity, num_shards,
+              options.shard_result_store_capacity);
+          stats.hierarchy_cold_loads = 1;
+        }
+      } catch (...) {
+        ++stats.hierarchy_load_failures;
+      }
+    }
+    if (serving == nullptr) {
+      serving = build_serving(snap);
+      save_hierarchy_best_effort(*serving->hierarchy);
+    }
     stats.build_seconds = seconds_since(start);
     stats.build_rounds = serving->hierarchy->build_rounds();
     stats.num_trees = serving->hierarchy->approximator().num_trees();
     stats.alpha = serving->hierarchy->alpha();
     rebuild_target = snap.version;
+  }
+
+  // Write `h` next to the store's persisted snapshot so a restart
+  // cold-opens without sampling. Never throws: persistence is an
+  // availability feature and must not fail a build or a swap.
+  void save_hierarchy_best_effort(const ShermanHierarchy& h) {
+    if (!hier_autosave) return;
+    try {
+      save_hierarchy(store->data_dir(), h, hier_fingerprint);
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      ++stats.hierarchy_saves;
+    } catch (...) {
+      // Leave the partial files; the meta-written-last protocol makes
+      // them read back as "no saved hierarchy".
+    }
   }
 
   // One hierarchy build, shared by the constructor and every background
@@ -550,6 +598,10 @@ struct FlowEngine::Core {
       return;
     }
     const double build_seconds = seconds_since(start);
+    // Persist before the swap: once serving_version reports the new
+    // version, the hierarchy that serves it is already durable — a
+    // SIGKILL any time after cannot force the next boot to rebuild.
+    save_hierarchy_best_effort(*next->hierarchy);
     std::shared_ptr<const Serving> retired;
     std::vector<std::uint64_t> ready;
     {
@@ -1258,6 +1310,22 @@ bool FlowEngine::wait_for_version(GraphVersion version,
       return core->serving->snapshot.version >= version;
     }
   }
+}
+
+GraphVersion FlowEngine::persist() {
+  auto core = core_;
+  // Snapshot first (GraphStore::persist validates the data_dir), then
+  // the serving hierarchy — saved unconditionally, so manual persist()
+  // works even with PersistPolicy::kNone.
+  const GraphVersion version = core->store->persist();
+  const std::shared_ptr<const Core::Serving> serving = core->current_serving();
+  save_hierarchy(core->store->data_dir(), *serving->hierarchy,
+                 core->hier_fingerprint);
+  {
+    std::lock_guard<std::mutex> lock(core->stats_mutex);
+    ++core->stats.hierarchy_saves;
+  }
+  return version;
 }
 
 GraphVersion FlowEngine::serving_version() const {

@@ -201,6 +201,15 @@ struct EngineStats {
   GraphVersion latest_version = 0;   // newest snapshot in the store
   // Background refresh behavior (full rebuilds + incremental repairs).
   RebuildStats rebuild;
+  // --- persistence (GraphStore data_dir configured; zeros otherwise) ---
+  // Cold starts served from a persisted hierarchy: construction mapped
+  // the saved tree arrays instead of sampling — no rebuild ran.
+  std::int64_t hierarchy_cold_loads = 0;
+  // A persisted hierarchy existed but failed to load (corrupt file,
+  // option mismatch); the engine fell back to a normal build.
+  std::int64_t hierarchy_load_failures = 0;
+  // Hierarchies written to the data dir (construction + every swap).
+  std::int64_t hierarchy_saves = 0;
   // Queries answered from a snapshot older than the store's latest (the
   // price of not stalling during a rebuild).
   std::int64_t queries_served_stale = 0;
@@ -257,10 +266,6 @@ struct ApplyResult {
   RebuildPlan plan = RebuildPlan::kFullRebuild;
   int trees_dirty = 0;  // trees the projected repair would resample
   int trees_total = 0;
-  // Migration shim: pre-v6 apply() returned the bare version, so
-  // existing callers (comparisons, wait_for_version(engine.apply(b)))
-  // keep working unchanged.
-  operator GraphVersion() const { return version; }  // NOLINT
 };
 
 // --- engine ------------------------------------------------------------------
@@ -399,8 +404,7 @@ class FlowEngine {
   // invalid op, publishing nothing) and enqueue a background hierarchy
   // refresh on the worker pool. Returns immediately with the new
   // snapshot's version plus the projected refresh plan (see
-  // ApplyResult; the result converts implicitly to GraphVersion for
-  // pre-v6 callers) — queries keep being served from the previous
+  // ApplyResult) — queries keep being served from the previous
   // snapshot until the refreshed hierarchy is swapped in atomically.
   // Capacity-only batches take the incremental repair path: only trees
   // whose structural capacity view changed are resampled (from their
@@ -426,6 +430,15 @@ class FlowEngine {
   // (negative = no deadline). A later apply()/refresh() can make a
   // fresh wait succeed after a false return.
   bool wait_for_version(GraphVersion version, double timeout_seconds = -1.0);
+
+  // Force-persist the store's latest snapshot and the currently serving
+  // hierarchy to the store's data dir (see GraphStoreOptions), so a
+  // restarted process cold-opens without a rebuild. Requires a store
+  // with a configured data_dir (throws RequirementError otherwise —
+  // kPreconditionFailed at the serve boundary). Returns the persisted
+  // snapshot version. With PersistPolicy::kOnPublish this mostly
+  // no-ops: snapshots and swapped-in hierarchies are already saved.
+  GraphVersion persist();
 
   [[nodiscard]] GraphVersion serving_version() const;
   [[nodiscard]] GraphVersion latest_version() const;

@@ -16,6 +16,30 @@ CsrGraph::CsrGraph(const Graph& graph)
   build(nullptr);
 }
 
+CsrGraph::CsrGraph(std::shared_ptr<const Graph> graph, CsrArrays arrays)
+    : graph_(std::move(graph)),
+      offsets_(std::move(arrays.offsets)),
+      neighbors_(std::move(arrays.neighbors)),
+      edge_ids_(std::move(arrays.edge_ids)) {
+  DMF_REQUIRE(graph_ != nullptr, "CsrGraph: null graph");
+  const Graph& g = *graph_;
+  num_nodes_ = g.num_nodes();
+  num_edges_ = g.num_edges();
+  endpoints_ = g.edge_endpoints().data();
+  capacities_ = g.capacities().data();
+  const auto n = static_cast<std::size_t>(num_nodes_);
+  const auto m = static_cast<std::size_t>(num_edges_);
+  DMF_REQUIRE(offsets_.size() == n + 1,
+              "CsrGraph: offsets array has wrong length");
+  DMF_REQUIRE(offsets_[0] == 0 && offsets_[n] == 2 * m,
+              "CsrGraph: offsets array disagrees with edge count");
+  DMF_REQUIRE(neighbors_.size() == 2 * m,
+              "CsrGraph: neighbor array has wrong length");
+  DMF_REQUIRE(edge_ids_.size() == 2 * m,
+              "CsrGraph: edge id array has wrong length");
+  cache_raw_views();
+}
+
 void CsrGraph::build(const CsrGraph* previous) {
   const Graph& g = *graph_;
   num_nodes_ = g.num_nodes();
@@ -28,27 +52,29 @@ void CsrGraph::build(const CsrGraph* previous) {
   // Mutation is append-only (add_nodes / add_edge / set_capacity), so
   // within one copy-on-write lineage equal edge counts mean the packed
   // half-edge arrays are identical, and equal node counts additionally
-  // mean the offsets are.
+  // mean the offsets are. Sharing is a handle copy, which also shares
+  // mmap-backed storage (and its files) across versions.
   const bool same_edges =
       previous != nullptr && previous->num_edges_ == num_edges_;
   if (same_edges && previous->num_nodes_ == num_nodes_) {
     offsets_ = previous->offsets_;
-    half_edges_ = previous->half_edges_;
+    neighbors_ = previous->neighbors_;
+    edge_ids_ = previous->edge_ids_;
     cache_raw_views();
     return;
   }
 
-  auto offsets = std::make_shared<std::vector<std::size_t>>(n + 1, 0);
-  std::vector<std::size_t>& off = *offsets;
+  std::vector<std::size_t> off(n + 1, 0);
   if (same_edges) {
     // Nodes appended, adjacency untouched: share the packed arrays and
     // extend the old offsets with empty rows.
-    const std::vector<std::size_t>& old = *previous->offsets_;
+    const Span<const std::size_t> old = previous->offsets();
     for (std::size_t v = 0; v <= n; ++v) {
       off[v] = v < old.size() ? old[v] : old.back();
     }
-    offsets_ = std::move(offsets);
-    half_edges_ = previous->half_edges_;
+    offsets_ = SharedArray<std::size_t>::adopt(std::move(off));
+    neighbors_ = previous->neighbors_;
+    edge_ids_ = previous->edge_ids_;
     cache_raw_views();
     return;
   }
@@ -64,33 +90,33 @@ void CsrGraph::build(const CsrGraph* previous) {
   }
   for (std::size_t v = 0; v < n; ++v) off[v + 1] += off[v];
 
-  auto half = std::make_shared<HalfEdges>();
-  half->neighbors.resize(2 * m);
-  half->edge_ids.resize(2 * m);
+  std::vector<NodeId> neighbors(2 * m);
+  std::vector<EdgeId> edge_ids(2 * m);
   std::vector<std::size_t> cursor(off.begin(), off.end() - 1);
   for (std::size_t e = 0; e < m; ++e) {
     const auto u = static_cast<std::size_t>(eps[e].u);
     const auto v = static_cast<std::size_t>(eps[e].v);
     const auto id = static_cast<EdgeId>(e);
-    half->neighbors[cursor[u]] = eps[e].v;
-    half->edge_ids[cursor[u]++] = id;
-    half->neighbors[cursor[v]] = eps[e].u;
-    half->edge_ids[cursor[v]++] = id;
+    neighbors[cursor[u]] = eps[e].v;
+    edge_ids[cursor[u]++] = id;
+    neighbors[cursor[v]] = eps[e].u;
+    edge_ids[cursor[v]++] = id;
   }
-  offsets_ = std::move(offsets);
-  half_edges_ = std::move(half);
+  offsets_ = SharedArray<std::size_t>::adopt(std::move(off));
+  neighbors_ = SharedArray<NodeId>::adopt(std::move(neighbors));
+  edge_ids_ = SharedArray<EdgeId>::adopt(std::move(edge_ids));
   cache_raw_views();
 }
 
 void CsrGraph::cache_raw_views() {
-  offsets_ptr_ = offsets_->data();
-  neighbors_ptr_ = half_edges_->neighbors.data();
-  edge_ids_ptr_ = half_edges_->edge_ids.data();
+  offsets_ptr_ = offsets_.data();
+  neighbors_ptr_ = neighbors_.data();
+  edge_ids_ptr_ = edge_ids_.data();
 }
 
 std::vector<NodeId> half_edge_sources(const CsrGraph& csr) {
   const auto n = static_cast<std::size_t>(csr.num_nodes());
-  const std::vector<std::size_t>& off = csr.offsets();
+  const Span<const std::size_t> off = csr.offsets();
   std::vector<NodeId> sources(off[n]);
   for (std::size_t v = 0; v < n; ++v) {
     for (std::size_t h = off[v]; h < off[v + 1]; ++h) {
@@ -102,7 +128,7 @@ std::vector<NodeId> half_edge_sources(const CsrGraph& csr) {
 
 std::vector<std::size_t> reverse_half_edges(const CsrGraph& csr) {
   const auto m = static_cast<std::size_t>(csr.num_edges());
-  const std::vector<EdgeId>& edge_ids = csr.edge_id_array();
+  const Span<const EdgeId> edge_ids = csr.edge_id_array();
   constexpr std::size_t kUnseen = static_cast<std::size_t>(-1);
   // Each edge id occurs in exactly two slots (no self-loops); pair them.
   std::vector<std::size_t> first_slot(m, kUnseen);

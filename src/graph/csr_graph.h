@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/span.h"
 
 namespace dmf {
 
@@ -65,6 +66,16 @@ class CsrRow {
   std::size_t size_;
 };
 
+// The packed structure arrays of a CSR snapshot, storage-agnostic: the
+// SharedArrays may be heap-backed (adopt) or views into mapped arena
+// files (util/mmap_arena.h). GraphStore::open hands these to the
+// arena-backed CsrGraph constructor.
+struct CsrArrays {
+  SharedArray<std::size_t> offsets;  // n + 1
+  SharedArray<NodeId> neighbors;     // 2m
+  SharedArray<EdgeId> edge_ids;      // 2m
+};
+
 class CsrGraph {
  public:
   // Owning form: keeps the graph alive, so snapshots carrying a CsrGraph
@@ -80,6 +91,12 @@ class CsrGraph {
   // Non-owning view for stack-local graphs; the caller guarantees the
   // graph outlives the CsrGraph.
   explicit CsrGraph(const Graph& graph);
+
+  // Rehydrated form: adopt prebuilt structure arrays (typically views
+  // into mapped arena files) instead of packing. Shapes are validated
+  // against the graph; contents are trusted — the arena open path
+  // already checksummed them.
+  CsrGraph(std::shared_ptr<const Graph> graph, CsrArrays arrays);
 
   [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
   [[nodiscard]] EdgeId num_edges() const { return num_edges_; }
@@ -139,16 +156,17 @@ class CsrGraph {
   }
   [[nodiscard]] const double* capacities_data() const { return capacities_; }
 
-  // The packed structure arrays (for tests asserting sharing/isolation
-  // across snapshot versions; not a traversal API).
-  [[nodiscard]] const std::vector<std::size_t>& offsets() const {
-    return *offsets_;
+  // The packed structure arrays as storage-agnostic spans (heap or
+  // mmap-backed — callers cannot tell). Sharing across snapshot
+  // versions is observable as data() pointer equality.
+  [[nodiscard]] Span<const std::size_t> offsets() const {
+    return offsets_.span();
   }
-  [[nodiscard]] const std::vector<NodeId>& neighbor_array() const {
-    return half_edges_->neighbors;
+  [[nodiscard]] Span<const NodeId> neighbor_array() const {
+    return neighbors_.span();
   }
-  [[nodiscard]] const std::vector<EdgeId>& edge_id_array() const {
-    return half_edges_->edge_ids;
+  [[nodiscard]] Span<const EdgeId> edge_id_array() const {
+    return edge_ids_.span();
   }
 
   // The Graph this CSR was packed from (null deleter in the view form).
@@ -158,22 +176,17 @@ class CsrGraph {
   }
 
  private:
-  // The O(m) packed half-edge arrays, shared between snapshot versions
-  // whose adjacency is unchanged.
-  struct HalfEdges {
-    std::vector<NodeId> neighbors;
-    std::vector<EdgeId> edge_ids;
-  };
-
   void build(const CsrGraph* previous);
   void cache_raw_views();
 
   std::shared_ptr<const Graph> graph_;
-  std::shared_ptr<const std::vector<std::size_t>> offsets_;  // n + 1
-  std::shared_ptr<const HalfEdges> half_edges_;              // 2m each
+  // The packed structure arrays, shared (handle copy) between snapshot
+  // versions whose adjacency is unchanged; heap- or mmap-backed.
+  SharedArray<std::size_t> offsets_;  // n + 1
+  SharedArray<NodeId> neighbors_;     // 2m
+  SharedArray<EdgeId> edge_ids_;      // 2m
   // Raw views of the arrays above (and the graph's), cached so a row
-  // lookup is two offset loads instead of shared_ptr/vector-header
-  // indirections.
+  // lookup is two offset loads with no handle indirections.
   const std::size_t* offsets_ptr_ = nullptr;
   const NodeId* neighbors_ptr_ = nullptr;
   const EdgeId* edge_ids_ptr_ = nullptr;

@@ -19,11 +19,23 @@
 // Snapshots are retained (see history_limit) so `snapshot(version)` can
 // answer for past versions and references into old graphs stay valid
 // for the store's lifetime.
+//
+// Persistence (GraphStoreOptions::persist + data_dir): published
+// snapshots are written to disk as mmap arena files
+// (util/mmap_arena.h) and reopened zero-copy by GraphStore::open after
+// a restart — including a crash, since every publish is
+// arrays -> manifest -> CURRENT with each step an atomic
+// tmp+fsync+rename. The on-disk copy-on-write ladder mirrors the
+// in-memory one: a capacity-only version writes only a new capacities
+// array and a manifest referencing the older structure files; node-only
+// additionally rewrites the offsets; only topology batches repack
+// everything. See README "Persistence & out-of-core".
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "graph/csr_graph.h"
@@ -121,13 +133,50 @@ class MutationBatch {
   std::vector<Op> ops_;
 };
 
+// Whether published snapshots are written to data_dir.
+enum class PersistPolicy {
+  kNone,       // in-memory only (persist() still works when data_dir set)
+  kOnPublish,  // every published version is persisted before apply returns
+};
+
+struct GraphStoreOptions {
+  // Bounds how many snapshots the store retains in memory (0 = keep
+  // all); the latest is never pruned, and holders of a pruned
+  // snapshot's shared_ptr keep it alive on their own.
+  std::size_t history_limit = 0;
+  // --- persistence ---
+  PersistPolicy persist = PersistPolicy::kNone;
+  // Directory for the arena files; required when persist != kNone,
+  // optional otherwise (enables manual persist()). Created on demand.
+  std::string data_dir;
+  // How many persisted versions stay on disk; older manifests and the
+  // arena files only they reference are garbage-collected after each
+  // publish. The version CURRENT points at is always kept.
+  std::size_t retain_versions = 4;
+  // Verify payload checksums when opening arena files (one sequential
+  // read per file). Disable for huge out-of-core graphs where paging
+  // everything in at open defeats the point; headers are always checked.
+  bool verify_checksums = true;
+};
+
 class GraphStore {
  public:
-  // The initial graph becomes snapshot version 0. history_limit bounds
-  // how many snapshots the store retains (0 = keep all); the latest is
-  // never pruned, and holders of a pruned snapshot's shared_ptr keep it
-  // alive on their own.
+  // The initial graph becomes snapshot version 0.
   explicit GraphStore(Graph initial, std::size_t history_limit = 0);
+  GraphStore(Graph initial, GraphStoreOptions options);
+
+  // Reopen a persisted store: CURRENT names the newest durable version;
+  // that snapshot (plus up to retain_versions of persisted history) is
+  // rehydrated with the structure arrays mapped zero-copy from the
+  // arena files. Corrupt or truncated files throw RequirementError
+  // (classified kPreconditionFailed at the engine boundary); stray
+  // files from an interrupted publish are ignored. New versions
+  // continue from the reopened latest.
+  [[nodiscard]] static std::shared_ptr<GraphStore> open(
+      const std::string& data_dir, GraphStoreOptions options = {});
+
+  // True when `data_dir` holds an openable store (a CURRENT pointer).
+  [[nodiscard]] static bool can_open(const std::string& data_dir);
 
   // The latest published snapshot.
   [[nodiscard]] GraphSnapshot snapshot() const;
@@ -143,16 +192,53 @@ class GraphStore {
   // batch to the copy (throwing — and publishing nothing — if any op is
   // invalid), and publishes the result as the next version. Returns the
   // new snapshot. An empty batch still publishes a (identical) new
-  // version, which callers can use as a barrier.
+  // version, which callers can use as a barrier. With
+  // PersistPolicy::kOnPublish the new version is durable on disk before
+  // apply returns.
   GraphSnapshot apply(const MutationBatch& batch);
 
+  // Force-write the latest snapshot to data_dir (no-op when it is
+  // already durable). Requires a configured data_dir; returns the
+  // persisted version.
+  GraphVersion persist();
+
+  [[nodiscard]] bool persistence_enabled() const {
+    return !options_.data_dir.empty();
+  }
+  [[nodiscard]] const std::string& data_dir() const {
+    return options_.data_dir;
+  }
+  [[nodiscard]] const GraphStoreOptions& options() const { return options_; }
+
  private:
-  mutable std::mutex mutex_;    // guards history_
-  std::mutex writer_mutex_;     // serializes apply() end to end
+  // Where each persisted array of the last written version lives on
+  // disk (the `*_from` version whose file holds it) plus the snapshot
+  // itself, kept so the next persist can share unchanged files by
+  // pointer/content comparison against it.
+  struct PersistedRefs {
+    bool valid = false;
+    GraphVersion version = 0;
+    std::uint64_t offsets_from = 0;
+    std::uint64_t half_from = 0;  // neighbors + edge_ids move together
+    std::uint64_t endpoints_from = 0;
+    std::uint64_t capacities_from = 0;
+    GraphSnapshot snapshot;
+  };
+
+  GraphStore(GraphStoreOptions options, std::vector<GraphSnapshot> history,
+             PersistedRefs last);
+
+  // Both run under writer_mutex_.
+  void persist_snapshot_locked(const GraphSnapshot& snap);
+  void gc_locked() const;
+
+  GraphStoreOptions options_;
+  mutable std::mutex mutex_;  // guards history_
+  std::mutex writer_mutex_;   // serializes apply()/persist() end to end
   GraphVersion pruned_below_ = 0;
   // history_[i].version == pruned_below_ + i
   std::vector<GraphSnapshot> history_;
-  const std::size_t history_limit_;
+  PersistedRefs last_persisted_;  // guarded by writer_mutex_
 };
 
 }  // namespace dmf

@@ -1,0 +1,236 @@
+#include "maxflow/hierarchy_io.h"
+
+#include <cstring>
+#include <vector>
+
+#include "capprox/approximator.h"
+#include "graph/tree.h"
+#include "util/mmap_arena.h"
+
+namespace dmf {
+namespace {
+
+// Distinct from the GraphStore's snapshot tags (1-6) so a hierarchy
+// array can never be opened as a graph array or vice versa.
+constexpr std::uint64_t kTagHierMeta = 16;
+constexpr std::uint64_t kTagHierRecords = 17;
+constexpr std::uint64_t kTagHierRoots = 18;
+constexpr std::uint64_t kTagHierParents = 19;
+constexpr std::uint64_t kTagHierCaps = 20;
+constexpr std::uint64_t kTagHierEdges = 21;
+
+// meta word layout (all u64; doubles bit-punned)
+constexpr std::size_t kMetaFingerprint = 0;
+constexpr std::size_t kMetaGraphVersion = 1;
+constexpr std::size_t kMetaNumNodes = 2;
+constexpr std::size_t kMetaNumTrees = 3;
+constexpr std::size_t kMetaAlpha = 4;
+constexpr std::size_t kMetaBuildRounds = 5;
+constexpr std::size_t kMetaBfsHeight = 6;
+constexpr std::size_t kMetaBucketOctaves = 7;
+constexpr std::size_t kMetaWords = 8;
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::uint64_t fnv1a_mix(std::uint64_t hash, std::uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (word >> (8 * i)) & 0xffu;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string hier_path(const std::string& dir, GraphVersion version,
+                      const char* part) {
+  return dir + "/hier.v" + std::to_string(version) + "." + part + ".arena";
+}
+
+}  // namespace
+
+std::uint64_t hierarchy_fingerprint(const ShermanOptions& options,
+                                    std::uint64_t engine_seed) {
+  // Every option that influences the sampled state, in a fixed order.
+  // Thread counts are deliberately absent (builds are thread-count
+  // invariant); the nested sparsifier/akpw sub-options are engine
+  // constants and not varied per deployment, so they are not hashed.
+  std::uint64_t h = 14695981039346656037ull;
+  h = fnv1a_mix(h, engine_seed);
+  h = fnv1a_mix(h, double_bits(options.epsilon));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(options.num_trees));
+  h = fnv1a_mix(h, double_bits(options.alpha));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(options.alpha_samples));
+  h = fnv1a_mix(h, double_bits(options.alpha_repair_reuse_fraction));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(options.max_almost_route_calls));
+  h = fnv1a_mix(h, double_bits(options.route_residual_tolerance));
+  h = fnv1a_mix(h, double_bits(options.almost_route.epsilon));
+  h = fnv1a_mix(h, double_bits(options.almost_route.alpha));
+  h = fnv1a_mix(
+      h, static_cast<std::uint64_t>(options.almost_route.max_iterations));
+  h = fnv1a_mix(h, options.almost_route.accelerate ? 1u : 0u);
+  h = fnv1a_mix(h, double_bits(options.hierarchy.beta));
+  h = fnv1a_mix(
+      h, static_cast<std::uint64_t>(options.hierarchy.trees_per_level));
+  h = fnv1a_mix(h,
+                static_cast<std::uint64_t>(options.hierarchy.finish_threshold));
+  h = fnv1a_mix(h, double_bits(options.hierarchy.sparsify_degree));
+  h = fnv1a_mix(h, double_bits(options.hierarchy.sparsifier_upscale));
+  h = fnv1a_mix(h, double_bits(options.hierarchy.mwu_eta));
+  h = fnv1a_mix(h, double_bits(options.hierarchy.capacity_bucket_octaves));
+  return h;
+}
+
+void save_hierarchy(const std::string& dir, const ShermanHierarchy& hierarchy,
+                    std::uint64_t fingerprint) {
+  const NodeId n = hierarchy.graph().num_nodes();
+  const std::size_t nn = static_cast<std::size_t>(n);
+  const CongestionApproximator& approx = hierarchy.approximator();
+  const int num_trees = approx.num_trees();
+  const GraphVersion version = hierarchy.graph_version();
+
+  // Sampled trees first, the MWST as the final slice: each array holds
+  // (num_trees + 1) tree-slices of n entries, concatenated.
+  const std::size_t slices = static_cast<std::size_t>(num_trees) + 1;
+  std::vector<NodeId> roots;
+  roots.reserve(slices);
+  std::vector<NodeId> parents;
+  parents.reserve(slices * nn);
+  std::vector<double> caps;
+  caps.reserve(slices * nn);
+  std::vector<EdgeId> edges;
+  edges.reserve(slices * nn);
+  for (std::size_t s = 0; s < slices; ++s) {
+    const RootedTree& tree = s < static_cast<std::size_t>(num_trees)
+                                 ? approx.tree(static_cast<int>(s))
+                                 : hierarchy.mwst();
+    DMF_REQUIRE(tree.num_nodes() == n,
+                "save_hierarchy: tree node count disagrees with graph");
+    roots.push_back(tree.root);
+    parents.insert(parents.end(), tree.parent.begin(), tree.parent.end());
+    caps.insert(caps.end(), tree.parent_cap.begin(), tree.parent_cap.end());
+    edges.insert(edges.end(), tree.parent_edge.begin(),
+                 tree.parent_edge.end());
+  }
+
+  const Span<const TreeBuildRecord> records = hierarchy.tree_records();
+  DMF_REQUIRE(records.size() == static_cast<std::size_t>(num_trees),
+              "save_hierarchy: tree record count disagrees with approximator");
+
+  ArenaVector<TreeBuildRecord>::write(hier_path(dir, version, "records"),
+                                      kTagHierRecords, records);
+  ArenaVector<NodeId>::write(hier_path(dir, version, "roots"), kTagHierRoots,
+                             {roots.data(), roots.size()});
+  ArenaVector<NodeId>::write(hier_path(dir, version, "parents"),
+                             kTagHierParents,
+                             {parents.data(), parents.size()});
+  ArenaVector<double>::write(hier_path(dir, version, "caps"), kTagHierCaps,
+                             {caps.data(), caps.size()});
+  ArenaVector<EdgeId>::write(hier_path(dir, version, "edges"), kTagHierEdges,
+                             {edges.data(), edges.size()});
+
+  // Meta last: its presence marks the set complete, so a crash between
+  // any of the writes above reads back as "no saved hierarchy".
+  std::uint64_t meta[kMetaWords] = {};
+  meta[kMetaFingerprint] = fingerprint;
+  meta[kMetaGraphVersion] = version;
+  meta[kMetaNumNodes] = static_cast<std::uint64_t>(n);
+  meta[kMetaNumTrees] = static_cast<std::uint64_t>(num_trees);
+  meta[kMetaAlpha] = double_bits(hierarchy.alpha());
+  meta[kMetaBuildRounds] = double_bits(hierarchy.build_rounds());
+  meta[kMetaBfsHeight] = static_cast<std::uint64_t>(hierarchy.bfs_height());
+  meta[kMetaBucketOctaves] = double_bits(hierarchy.capacity_bucket_octaves());
+  ArenaVector<std::uint64_t>::write(hier_path(dir, version, "meta"),
+                                    kTagHierMeta, {meta, kMetaWords});
+}
+
+std::shared_ptr<const ShermanHierarchy> load_hierarchy(
+    const std::string& dir, const GraphSnapshot& snap,
+    std::uint64_t fingerprint, bool verify_checksums) {
+  DMF_REQUIRE(snap.graph != nullptr, "load_hierarchy: null snapshot graph");
+  const GraphVersion version = snap.version;
+  const std::string meta_path = hier_path(dir, version, "meta");
+  // Meta is written last, so its absence — or the absence of any array
+  // file (a GC race) — is a clean miss, not corruption.
+  if (!file_exists(meta_path) ||
+      !file_exists(hier_path(dir, version, "records")) ||
+      !file_exists(hier_path(dir, version, "roots")) ||
+      !file_exists(hier_path(dir, version, "parents")) ||
+      !file_exists(hier_path(dir, version, "caps")) ||
+      !file_exists(hier_path(dir, version, "edges"))) {
+    return nullptr;
+  }
+
+  SharedArray<std::uint64_t> meta = ArenaVector<std::uint64_t>::open(
+      meta_path, kTagHierMeta, verify_checksums);
+  DMF_REQUIRE(meta.size() == kMetaWords,
+              "load_hierarchy: meta arena has wrong word count");
+  const NodeId n = snap.graph->num_nodes();
+  if (meta[kMetaFingerprint] != fingerprint ||
+      meta[kMetaGraphVersion] != version ||
+      meta[kMetaNumNodes] != static_cast<std::uint64_t>(n)) {
+    return nullptr;  // saved under different options or a different graph
+  }
+  const std::size_t num_trees =
+      static_cast<std::size_t>(meta[kMetaNumTrees]);
+  const std::size_t slices = num_trees + 1;
+  const std::size_t nn = static_cast<std::size_t>(n);
+
+  SharedArray<TreeBuildRecord> records = ArenaVector<TreeBuildRecord>::open(
+      hier_path(dir, version, "records"), kTagHierRecords, verify_checksums);
+  SharedArray<NodeId> roots = ArenaVector<NodeId>::open(
+      hier_path(dir, version, "roots"), kTagHierRoots, verify_checksums);
+  SharedArray<NodeId> parents = ArenaVector<NodeId>::open(
+      hier_path(dir, version, "parents"), kTagHierParents, verify_checksums);
+  SharedArray<double> caps = ArenaVector<double>::open(
+      hier_path(dir, version, "caps"), kTagHierCaps, verify_checksums);
+  SharedArray<EdgeId> edges = ArenaVector<EdgeId>::open(
+      hier_path(dir, version, "edges"), kTagHierEdges, verify_checksums);
+  DMF_REQUIRE(records.size() == num_trees,
+              "load_hierarchy: record count disagrees with meta");
+  DMF_REQUIRE(roots.size() == slices,
+              "load_hierarchy: root count disagrees with meta");
+  DMF_REQUIRE(parents.size() == slices * nn && caps.size() == slices * nn &&
+                  edges.size() == slices * nn,
+              "load_hierarchy: tree array length disagrees with meta");
+
+  auto slice_tree = [&](std::size_t s) {
+    RootedTree tree;
+    tree.root = roots[s];
+    const std::size_t base = s * nn;
+    tree.parent.assign(parents.data() + base, parents.data() + base + nn);
+    tree.parent_cap.assign(caps.data() + base, caps.data() + base + nn);
+    tree.parent_edge.assign(edges.data() + base, edges.data() + base + nn);
+    tree.validate();
+    return tree;
+  };
+
+  std::vector<RootedTree> trees;
+  trees.reserve(num_trees);
+  for (std::size_t t = 0; t < num_trees; ++t) trees.push_back(slice_tree(t));
+
+  ShermanHierarchy::Parts parts;
+  // The approximator's derived state (orders, inverse capacities) is a
+  // deterministic function of the trees, so this reload is bitwise.
+  parts.approximator =
+      std::make_shared<const CongestionApproximator>(std::move(trees));
+  parts.mwst = slice_tree(num_trees);
+  parts.tree_records.assign(records.data(), records.data() + records.size());
+  parts.bucket_octaves = bits_double(meta[kMetaBucketOctaves]);
+  parts.alpha = bits_double(meta[kMetaAlpha]);
+  parts.build_rounds = bits_double(meta[kMetaBuildRounds]);
+  parts.bfs_height = static_cast<int>(meta[kMetaBfsHeight]);
+  return ShermanHierarchy::from_parts(snap.graph, snap.csr, version,
+                                      std::move(parts));
+}
+
+}  // namespace dmf

@@ -174,7 +174,7 @@ std::shared_ptr<const ShermanHierarchy> ShermanHierarchy::repair(
   }
   out->graph_version_ = graph_version;
   out->bucket_octaves_ = prev.capacity_bucket_octaves();
-  out->tree_records_ = prev.tree_records();
+  out->tree_records_ = prev.tree_records_;
 
   if (diff.num_changed_edges == 0) {
     // Identical capacities (an empty or no-op batch): every derived
@@ -284,6 +284,39 @@ std::shared_ptr<const ShermanHierarchy> ShermanHierarchy::repair(
   out->mwst_ = boruvka_max_weight_tree(g, 0, &mst_rounds);
   out->build_rounds_ += mst_rounds;
   out->bfs_height_ = build_bfs_tree(*out->csr_, 0).height;
+  return out;
+}
+
+std::shared_ptr<const ShermanHierarchy> ShermanHierarchy::from_parts(
+    std::shared_ptr<const Graph> graph, std::shared_ptr<const CsrGraph> csr,
+    GraphVersion graph_version, Parts parts) {
+  DMF_REQUIRE(graph != nullptr, "ShermanHierarchy::from_parts: null graph");
+  DMF_REQUIRE(parts.approximator != nullptr,
+              "ShermanHierarchy::from_parts: null approximator");
+  DMF_REQUIRE(parts.approximator->num_nodes() == graph->num_nodes(),
+              "ShermanHierarchy::from_parts: approximator size mismatch");
+  DMF_REQUIRE(static_cast<std::size_t>(parts.approximator->num_trees()) ==
+                  parts.tree_records.size(),
+              "ShermanHierarchy::from_parts: tree record count mismatch");
+  DMF_REQUIRE(parts.mwst.num_nodes() == graph->num_nodes(),
+              "ShermanHierarchy::from_parts: mwst size mismatch");
+  std::shared_ptr<ShermanHierarchy> out(new ShermanHierarchy());
+  out->graph_ = std::move(graph);
+  out->csr_ = std::move(csr);
+  if (out->csr_ == nullptr) {
+    out->csr_ = std::make_shared<const CsrGraph>(out->graph_);
+  } else {
+    DMF_REQUIRE(&out->csr_->graph() == out->graph_.get(),
+                "ShermanHierarchy::from_parts: csr does not view this graph");
+  }
+  out->graph_version_ = graph_version;
+  out->approximator_ = std::move(parts.approximator);
+  out->mwst_ = std::move(parts.mwst);
+  out->tree_records_ = std::move(parts.tree_records);
+  out->bucket_octaves_ = parts.bucket_octaves;
+  out->alpha_ = parts.alpha;
+  out->build_rounds_ = parts.build_rounds;
+  out->bfs_height_ = parts.bfs_height;
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include "graph/csr_graph.h"
 #include "graph/graph.h"
 #include "maxflow/almost_route.h"
+#include "util/span.h"
 
 namespace dmf {
 
@@ -159,6 +160,28 @@ class ShermanHierarchy {
       std::shared_ptr<const CsrGraph> csr = nullptr,
       HierarchyRepairReport* report = nullptr);
 
+  // Persisted-state members a loader (maxflow/hierarchy_io.h) hands back
+  // to from_parts. The caller guarantees the parts were saved from a
+  // hierarchy built on a bitwise-identical graph with identical options
+  // — from_parts validates shapes, not provenance.
+  struct Parts {
+    std::shared_ptr<const CongestionApproximator> approximator;
+    RootedTree mwst;
+    std::vector<TreeBuildRecord> tree_records;
+    double bucket_octaves = 0.0;
+    double alpha = 2.0;
+    double build_rounds = 0.0;
+    int bfs_height = 0;
+  };
+
+  // Reassemble a hierarchy from persisted parts without any sampling —
+  // the zero-rebuild cold-start path. Bitwise identical to the build
+  // that produced the parts (the approximator's derived state is a
+  // deterministic function of the trees).
+  static std::shared_ptr<const ShermanHierarchy> from_parts(
+      std::shared_ptr<const Graph> graph, std::shared_ptr<const CsrGraph> csr,
+      GraphVersion graph_version, Parts parts);
+
   [[nodiscard]] const Graph& graph() const { return *graph_; }
   // The flat CSR view every query traversal runs on.
   [[nodiscard]] const CsrGraph& csr() const { return *csr_; }
@@ -181,8 +204,8 @@ class ShermanHierarchy {
 
   // Per-tree repair provenance (one record per sampled tree) and the
   // structural quantization width the build used.
-  [[nodiscard]] const std::vector<TreeBuildRecord>& tree_records() const {
-    return tree_records_;
+  [[nodiscard]] Span<const TreeBuildRecord> tree_records() const {
+    return {tree_records_.data(), tree_records_.size()};
   }
   [[nodiscard]] double capacity_bucket_octaves() const {
     return bucket_octaves_;

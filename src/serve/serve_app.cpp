@@ -240,6 +240,32 @@ void ServeApp::handle(Request req, Responder responder) {
     return;
   }
 
+  if (path == "/v1/admin/persist") {
+    if (req.method != "POST") {
+      complete("persist", start, false, responder, 405,
+               error_body(ErrorCode::kInvalidQuery, "use POST"));
+      return;
+    }
+    // Admin plane: no admission control (like /v1/stats), usable while
+    // draining — persisting on the way down is the point.
+    try {
+      const GraphVersion persisted = engine_.persist();
+      JsonObject obj;
+      obj.emplace_back("persisted_version",
+                       Json(static_cast<std::uint64_t>(persisted)));
+      complete("persist", start, false, responder, 200,
+               Json(std::move(obj)).dump());
+    } catch (const RequirementError& e) {
+      // No data_dir configured (or the write was refused).
+      complete("persist", start, false, responder, 412,
+               error_body(ErrorCode::kPreconditionFailed, e.what()));
+    } catch (const std::exception& e) {
+      complete("persist", start, false, responder, 500,
+               error_body(ErrorCode::kInternalError, e.what()));
+    }
+    return;
+  }
+
   const bool is_query = path == "/v1/query";
   const bool is_mutate = path == "/v1/mutate";
   if (!is_query && !is_mutate) {

@@ -664,6 +664,10 @@ Json to_json(const EngineStats& s) {
                    Json(static_cast<std::uint64_t>(s.latest_version)));
   obj.emplace_back("query_seconds_total", Json(s.query_seconds_total));
   obj.emplace_back("max_congestion", Json(s.max_congestion));
+  obj.emplace_back("hierarchy_cold_loads", Json(s.hierarchy_cold_loads));
+  obj.emplace_back("hierarchy_load_failures",
+                   Json(s.hierarchy_load_failures));
+  obj.emplace_back("hierarchy_saves", Json(s.hierarchy_saves));
   JsonObject rebuild;
   rebuild.emplace_back("started", Json(s.rebuild.started));
   rebuild.emplace_back("completed", Json(s.rebuild.completed));

@@ -1,0 +1,157 @@
+// Storage-agnostic views over contiguous arrays.
+//
+// Span<const T> is the repo's accessor currency: CsrGraph and the
+// hierarchy hand out spans instead of `const std::vector<T>&`, so the
+// same call sites read heap-backed vectors and mmap-backed arena files
+// (util/mmap_arena.h) without knowing which they got. SharedArray<T>
+// is the owning counterpart — a (pointer, size) view plus a type-erased
+// keepalive — which is what lets copy-on-write snapshot lineages share
+// one backing allocation (or one mapped file) across versions: sharing
+// an array is copying the handle.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/require.h"
+
+namespace dmf {
+
+// A non-owning view of `size` contiguous elements. Cheap to copy; never
+// allocates. The pointed-to storage must outlive every use of the span
+// (snapshots are immutable and shared_ptr-kept, so accessors returning
+// spans are safe for as long as the snapshot handle is held).
+template <typename T>
+class Span {
+ public:
+  using element_type = T;
+  using value_type = std::remove_cv_t<T>;
+
+  constexpr Span() = default;
+  constexpr Span(T* data, std::size_t size) : data_(data), size_(size) {}
+
+  // Implicit view of a vector, so `Span<const T>` parameters accept
+  // vectors directly (const-element spans only).
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_const_v<U>>>
+  Span(const std::vector<value_type>& values)  // NOLINT(runtime/explicit)
+      : data_(values.data()), size_(values.size()) {}
+
+  [[nodiscard]] constexpr const T* data() const { return data_; }
+  [[nodiscard]] constexpr std::size_t size() const { return size_; }
+  [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] T& operator[](std::size_t i) const {
+    DMF_ASSERT(i < size_, "Span: index out of range");
+    return data_[i];
+  }
+  [[nodiscard]] T& front() const { return (*this)[0]; }
+  [[nodiscard]] T& back() const { return (*this)[size_ - 1]; }
+
+  [[nodiscard]] constexpr T* begin() const { return data_; }
+  [[nodiscard]] constexpr T* end() const { return data_ + size_; }
+
+  [[nodiscard]] Span subspan(std::size_t offset, std::size_t count) const {
+    DMF_ASSERT(offset + count <= size_, "Span::subspan: out of range");
+    return Span(data_ + offset, count);
+  }
+  [[nodiscard]] Span subspan(std::size_t offset) const {
+    DMF_ASSERT(offset <= size_, "Span::subspan: out of range");
+    return Span(data_ + offset, size_ - offset);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// Element-wise equality (tests compare spans against expected vectors;
+// identity sharing is asserted via data() pointer equality instead).
+template <typename T, typename U>
+[[nodiscard]] bool operator==(Span<T> a, Span<U> b) {
+  static_assert(std::is_same_v<std::remove_cv_t<T>, std::remove_cv_t<U>>);
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+template <typename T, typename U>
+[[nodiscard]] bool operator!=(Span<T> a, Span<U> b) {
+  return !(a == b);
+}
+template <typename T>
+[[nodiscard]] bool operator==(Span<T> a,
+                              const std::vector<std::remove_cv_t<T>>& b) {
+  return a == Span<const std::remove_cv_t<T>>(b.data(), b.size());
+}
+template <typename T>
+[[nodiscard]] bool operator==(const std::vector<std::remove_cv_t<T>>& a,
+                              Span<T> b) {
+  return b == a;
+}
+template <typename T>
+[[nodiscard]] bool operator!=(Span<T> a,
+                              const std::vector<std::remove_cv_t<T>>& b) {
+  return !(a == b);
+}
+template <typename T>
+[[nodiscard]] bool operator!=(const std::vector<std::remove_cv_t<T>>& a,
+                              Span<T> b) {
+  return !(b == a);
+}
+
+template <typename T>
+[[nodiscard]] std::vector<std::remove_cv_t<T>> to_vector(Span<T> s) {
+  return std::vector<std::remove_cv_t<T>>(s.begin(), s.end());
+}
+
+// An immutable shared array: a raw (pointer, size) view tied to a
+// type-erased owner that keeps the storage alive. The owner can be a
+// heap vector (adopt) or anything else — a mapped file, a slice of a
+// larger buffer (view) — making heap vs mmap backing invisible to
+// holders. Copying a SharedArray shares the backing storage; that is
+// the whole copy-on-write story.
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+
+  // Take ownership of a vector's storage.
+  [[nodiscard]] static SharedArray adopt(std::vector<T> values) {
+    auto holder = std::make_shared<const std::vector<T>>(std::move(values));
+    SharedArray out;
+    out.data_ = holder->data();
+    out.size_ = holder->size();
+    out.keepalive_ = std::move(holder);
+    return out;
+  }
+
+  // View `size` elements at `data`, alive for as long as `keepalive` is.
+  [[nodiscard]] static SharedArray view(
+      const T* data, std::size_t size, std::shared_ptr<const void> keepalive) {
+    SharedArray out;
+    out.data_ = data;
+    out.size_ = size;
+    out.keepalive_ = std::move(keepalive);
+    return out;
+  }
+
+  [[nodiscard]] Span<const T> span() const { return {data_, size_}; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    DMF_ASSERT(i < size_, "SharedArray: index out of range");
+    return data_[i];
+  }
+
+ private:
+  std::shared_ptr<const void> keepalive_;
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dmf

@@ -132,7 +132,7 @@ TEST(CongestRunner, ServesFromTheCurrentSnapshotAfterMutation) {
 
   MutationBatch batch;
   batch.set_capacity(0, 5.0);  // widen 0->1
-  const GraphVersion v = engine.apply(batch);
+  const GraphVersion v = engine.apply(batch).version;
   ASSERT_TRUE(engine.wait_for_version(v, 30.0));
   const auto after = engine.submit(CongestQuery{0, 3}).get();
   ASSERT_TRUE(after.ok());

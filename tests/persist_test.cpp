@@ -1,0 +1,567 @@
+// Out-of-core persistence: mmap arena round trips, hard rejection of
+// corrupt files, the on-disk copy-on-write ladder, and the zero-rebuild
+// engine cold start (a reopened snapshot + persisted hierarchy serves
+// queries bitwise identical to the process that wrote them).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <unistd.h>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/result.h"
+#include "graph/generators.h"
+#include "graph/graph_store.h"
+#include "maxflow/hierarchy_io.h"
+#include "util/mmap_arena.h"
+#include "util/rng.h"
+#include "util/span.h"
+
+namespace dmf {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A fresh directory under the system temp root, removed on scope exit.
+class TempDir {
+ public:
+  TempDir() {
+    static int counter = 0;
+    path_ = (fs::temp_directory_path() /
+             ("dmf_persist_test_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter++)))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+void overwrite_byte(const std::string& path, std::streamoff offset,
+                    char value) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekp(offset);
+  f.write(&value, 1);
+}
+
+void truncate_file(const std::string& path, std::uintmax_t size) {
+  fs::resize_file(path, size);
+}
+
+Graph test_grid(int w = 8, int h = 8, std::uint64_t seed = 7) {
+  Rng rng(seed);
+  return make_grid(w, h, {1, 64}, rng);
+}
+
+EngineOptions small_engine_options() {
+  EngineOptions opts;
+  opts.sherman.num_trees = 4;
+  opts.threads = 2;
+  opts.seed = 42;
+  // Keep the 64-node grid on the Sherman path (not the exact-baseline
+  // dispatch) so the queries actually exercise the reloaded hierarchy.
+  opts.exact_cutoff_nodes = 4;
+  return opts;
+}
+
+// --- Span API ----------------------------------------------------------------
+
+TEST(Span, EqualityConversionAndViews) {
+  const std::vector<int> v{1, 2, 3, 4};
+  const Span<const int> s(v);  // implicit vector -> span
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.front(), 1);
+  EXPECT_EQ(s.back(), 4);
+  EXPECT_EQ(s, v);  // span vs vector
+  EXPECT_EQ(v, s);  // vector vs span
+  EXPECT_EQ(s, Span<const int>(v));
+  EXPECT_NE(s.subspan(1), s);
+  EXPECT_EQ(s.subspan(1, 2), (std::vector<int>{2, 3}));
+  EXPECT_EQ(to_vector(s), v);
+  int sum = 0;
+  for (const int x : s) sum += x;  // range-for over the view
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(SharedArray, AdoptAndViewShareStorage) {
+  SharedArray<double> a = SharedArray<double>::adopt({1.0, 2.0, 3.0});
+  SharedArray<double> b = a;  // sharing = copying the handle
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(b.span(), (std::vector<double>{1.0, 2.0, 3.0}));
+  auto keep = std::make_shared<std::vector<int>>(std::vector<int>{9, 8});
+  SharedArray<int> view = SharedArray<int>::view(keep->data(), 2, keep);
+  EXPECT_EQ(view[0], 9);
+  EXPECT_EQ(view.size(), 2u);
+}
+
+// --- arena round trip --------------------------------------------------------
+
+TEST(MmapArena, RoundTripIsBitwiseAndZeroCopy) {
+  TempDir dir;
+  const std::string path = dir.path() + "/caps.arena";
+  std::vector<double> values;
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.next_double(0.1, 99.0));
+
+  ArenaVector<double>::write(path, /*type_tag=*/6, values);
+  const SharedArray<double> mapped =
+      ArenaVector<double>::open(path, /*type_tag=*/6);
+  ASSERT_EQ(mapped.size(), values.size());
+  EXPECT_EQ(mapped.span(), values);  // bitwise: doubles compare exactly
+  EXPECT_EQ(fs::file_size(path), 64 + values.size() * sizeof(double));
+  // No stray tmp file left behind by the atomic publish.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+
+  // Appending writer form produces the identical file.
+  ArenaVector<double> writer;
+  writer.append(Span<const double>(values));
+  writer.publish(dir.path() + "/caps2.arena", 6);
+  const SharedArray<double> mapped2 =
+      ArenaVector<double>::open(dir.path() + "/caps2.arena", 6);
+  EXPECT_EQ(mapped2.span(), mapped.span());
+}
+
+TEST(MmapArena, EmptyArrayRoundTrips) {
+  TempDir dir;
+  const std::string path = dir.path() + "/empty.arena";
+  ArenaVector<std::uint64_t>::write(path, 1, {});
+  const SharedArray<std::uint64_t> mapped =
+      ArenaVector<std::uint64_t>::open(path, 1);
+  EXPECT_EQ(mapped.size(), 0u);
+  EXPECT_TRUE(mapped.empty());
+}
+
+// --- corruption corpus -------------------------------------------------------
+
+class MmapArenaCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = dir_.path() + "/victim.arena";
+    std::vector<std::uint64_t> values;
+    for (std::uint64_t i = 0; i < 64; ++i) values.push_back(i * 3 + 1);
+    ArenaVector<std::uint64_t>::write(path_, kTag, values);
+  }
+  static constexpr std::uint64_t kTag = 5;
+  TempDir dir_;
+  std::string path_;
+};
+
+TEST_F(MmapArenaCorruption, MissingFile) {
+  EXPECT_THROW(
+      ArenaVector<std::uint64_t>::open(dir_.path() + "/nope.arena", kTag),
+      RequirementError);
+}
+
+TEST_F(MmapArenaCorruption, TruncatedBelowHeader) {
+  truncate_file(path_, 10);
+  EXPECT_THROW(ArenaVector<std::uint64_t>::open(path_, kTag),
+               RequirementError);
+}
+
+TEST_F(MmapArenaCorruption, TruncatedPayload) {
+  truncate_file(path_, 64 + 8 * 13);  // header intact, payload short
+  EXPECT_THROW(ArenaVector<std::uint64_t>::open(path_, kTag),
+               RequirementError);
+}
+
+TEST_F(MmapArenaCorruption, ForeignMagic) {
+  overwrite_byte(path_, 0, 'X');
+  EXPECT_THROW(ArenaVector<std::uint64_t>::open(path_, kTag),
+               RequirementError);
+}
+
+TEST_F(MmapArenaCorruption, FutureLayoutVersion) {
+  overwrite_byte(path_, 8, 99);  // layout_version field
+  EXPECT_THROW(ArenaVector<std::uint64_t>::open(path_, kTag),
+               RequirementError);
+}
+
+TEST_F(MmapArenaCorruption, WrongTypeTag) {
+  EXPECT_THROW(ArenaVector<std::uint64_t>::open(path_, kTag + 1),
+               RequirementError);
+}
+
+TEST_F(MmapArenaCorruption, WrongElementSize) {
+  EXPECT_THROW(ArenaVector<std::uint32_t>::open(path_, kTag),
+               RequirementError);
+}
+
+TEST_F(MmapArenaCorruption, TamperedCountFailsHeaderChecksum) {
+  overwrite_byte(path_, 32, 1);  // count field, low byte
+  EXPECT_THROW(ArenaVector<std::uint64_t>::open(path_, kTag),
+               RequirementError);
+}
+
+TEST_F(MmapArenaCorruption, FlippedPayloadByte) {
+  overwrite_byte(path_, 64 + 100, 'Z');
+  EXPECT_THROW(ArenaVector<std::uint64_t>::open(path_, kTag,
+                                                /*verify_checksum=*/true),
+               RequirementError);
+  // Header-only verification maps it anyway — the documented
+  // out-of-core tradeoff (headers are always checked, payload opt-out).
+  EXPECT_NO_THROW(ArenaVector<std::uint64_t>::open(
+      path_, kTag, /*verify_checksum=*/false));
+}
+
+TEST_F(MmapArenaCorruption, ForeignFileAndErrorClassification) {
+  const std::string junk = dir_.path() + "/junk.arena";
+  {
+    std::ofstream f(junk, std::ios::binary);
+    for (int i = 0; i < 200; ++i) f << "not an arena ";
+  }
+  try {
+    (void)ArenaVector<std::uint64_t>::open(junk, kTag);
+    FAIL() << "foreign file must be rejected";
+  } catch (const RequirementError& e) {
+    // The engine boundary maps arena rejections to kPreconditionFailed
+    // — corrupt data is the caller's state, not an engine bug.
+    EXPECT_EQ(classify_error(e), ErrorCode::kPreconditionFailed);
+  }
+}
+
+// --- GraphStore persistence --------------------------------------------------
+
+MutationBatch capacity_batch(const Graph& g) {
+  MutationBatch batch;
+  batch.set_capacity(0, 17.5);
+  batch.set_capacity(g.num_edges() - 1, 3.25);
+  return batch;
+}
+
+TEST(GraphStorePersist, RoundTripAcrossReopen) {
+  TempDir dir;
+  GraphStoreOptions gopts;
+  gopts.persist = PersistPolicy::kOnPublish;
+  gopts.data_dir = dir.path();
+
+  Graph g = test_grid();
+  const auto n = g.num_nodes();
+  std::vector<GraphVersion> published{0};
+  {
+    GraphStore store(std::move(g), gopts);
+    published.push_back(store.apply(capacity_batch(*store.snapshot().graph))
+                            .version);
+    MutationBatch nodes;
+    nodes.add_nodes(3);
+    published.push_back(store.apply(nodes).version);
+    MutationBatch topo;
+    topo.add_edge(0, n, 9.0).add_edge(n + 1, n + 2, 2.0);
+    published.push_back(store.apply(topo).version);
+  }  // store destroyed; only the files remain
+
+  ASSERT_TRUE(GraphStore::can_open(dir.path()));
+  const std::shared_ptr<GraphStore> reopened = GraphStore::open(dir.path());
+  EXPECT_EQ(reopened->latest_version(), published.back());
+  // retain_versions (default 4) covers every published version here.
+  EXPECT_EQ(reopened->num_retained(), published.size());
+
+  // The reopened latest is bitwise identical to what was persisted:
+  // same shape, same endpoints, same capacities, same packed CSR.
+  GraphStoreOptions plain;
+  GraphStore fresh_store(test_grid(), plain);
+  GraphSnapshot fresh = fresh_store.apply(
+      capacity_batch(*fresh_store.snapshot().graph));
+  MutationBatch nodes;
+  nodes.add_nodes(3);
+  fresh = fresh_store.apply(nodes);
+  MutationBatch topo;
+  topo.add_edge(0, n, 9.0).add_edge(n + 1, n + 2, 2.0);
+  fresh = fresh_store.apply(topo);
+
+  const GraphSnapshot got = reopened->snapshot();
+  ASSERT_EQ(got.graph->num_nodes(), fresh.graph->num_nodes());
+  ASSERT_EQ(got.graph->num_edges(), fresh.graph->num_edges());
+  EXPECT_EQ(got.graph->capacities(), fresh.graph->capacities());
+  for (EdgeId e = 0; e < got.graph->num_edges(); ++e) {
+    EXPECT_EQ(got.graph->endpoints(e).u, fresh.graph->endpoints(e).u);
+    EXPECT_EQ(got.graph->endpoints(e).v, fresh.graph->endpoints(e).v);
+  }
+  EXPECT_EQ(got.csr->offsets(), fresh.csr->offsets());
+  EXPECT_EQ(got.csr->neighbor_array(), fresh.csr->neighbor_array());
+  EXPECT_EQ(got.csr->edge_id_array(), fresh.csr->edge_id_array());
+
+  // Historical snapshots reopened too, with the right version tags.
+  for (const GraphVersion v : published) {
+    EXPECT_EQ(reopened->snapshot(v).version, v);
+  }
+  // And the reopened store continues publishing from where it stopped.
+  const GraphSnapshot next = reopened->apply(MutationBatch{});
+  EXPECT_EQ(next.version, published.back() + 1);
+}
+
+TEST(GraphStorePersist, OnDiskCowLadderSharesUnchangedFiles) {
+  TempDir dir;
+  GraphStoreOptions gopts;
+  gopts.persist = PersistPolicy::kOnPublish;
+  gopts.data_dir = dir.path();
+  GraphStore store(test_grid(), gopts);
+  const NodeId n = store.snapshot().graph->num_nodes();
+
+  const auto has = [&](const char* name, std::uint64_t v) {
+    return fs::exists(dir.path() + "/" + name + ".v" + std::to_string(v) +
+                      ".arena");
+  };
+  // v0: everything materialized.
+  for (const char* f :
+       {"manifest", "offsets", "neighbors", "edge_ids", "endpoints",
+        "capacities"}) {
+    EXPECT_TRUE(has(f, 0)) << f;
+  }
+
+  // Capacity-only: only a new capacities array (plus the manifest).
+  store.apply(capacity_batch(*store.snapshot().graph));
+  EXPECT_TRUE(has("manifest", 1));
+  EXPECT_TRUE(has("capacities", 1));
+  EXPECT_FALSE(has("offsets", 1));
+  EXPECT_FALSE(has("neighbors", 1));
+  EXPECT_FALSE(has("edge_ids", 1));
+  EXPECT_FALSE(has("endpoints", 1));
+
+  // Node-only: new offsets, everything else shared.
+  MutationBatch nodes;
+  nodes.add_nodes(2);
+  store.apply(nodes);
+  EXPECT_TRUE(has("manifest", 2));
+  EXPECT_TRUE(has("offsets", 2));
+  EXPECT_FALSE(has("neighbors", 2));
+  EXPECT_FALSE(has("edge_ids", 2));
+  EXPECT_FALSE(has("endpoints", 2));
+  EXPECT_FALSE(has("capacities", 2));
+
+  // Topology: full repack on disk as in memory.
+  MutationBatch topo;
+  topo.add_edge(0, n, 5.0);
+  store.apply(topo);
+  for (const char* f :
+       {"manifest", "offsets", "neighbors", "edge_ids", "endpoints",
+        "capacities"}) {
+    EXPECT_TRUE(has(f, 3)) << f;
+  }
+
+  // A reopened store agrees with the live one across the whole ladder.
+  const std::shared_ptr<GraphStore> reopened = GraphStore::open(dir.path());
+  for (GraphVersion v = 0; v <= 3; ++v) {
+    const GraphSnapshot a = store.snapshot(v);
+    const GraphSnapshot b = reopened->snapshot(v);
+    EXPECT_EQ(a.graph->capacities(), b.graph->capacities()) << "v" << v;
+    EXPECT_EQ(b.csr->offsets(), a.csr->offsets()) << "v" << v;
+  }
+}
+
+TEST(GraphStorePersist, GcBoundsRetainedVersionsOnDisk) {
+  TempDir dir;
+  GraphStoreOptions gopts;
+  gopts.persist = PersistPolicy::kOnPublish;
+  gopts.data_dir = dir.path();
+  gopts.retain_versions = 2;
+  GraphStore store(test_grid(), gopts);
+  for (int i = 0; i < 5; ++i) {
+    MutationBatch batch;
+    batch.set_capacity(i, 2.0 + i);
+    store.apply(batch);
+  }
+  int manifests = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("manifest.", 0) == 0) ++manifests;
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+  }
+  EXPECT_EQ(manifests, 2);
+  // The reopened history is exactly the kept tail.
+  const std::shared_ptr<GraphStore> reopened = GraphStore::open(dir.path(),
+                                                               gopts);
+  EXPECT_EQ(reopened->latest_version(), 5u);
+  EXPECT_EQ(reopened->num_retained(), 2u);
+}
+
+TEST(GraphStorePersist, ManualPersistAndOpenRejectsCorruption) {
+  TempDir dir;
+  GraphStoreOptions gopts;
+  gopts.data_dir = dir.path();  // policy kNone: persist() is manual
+  GraphStore store(test_grid(), gopts);
+  EXPECT_FALSE(GraphStore::can_open(dir.path()));
+  EXPECT_EQ(store.persist(), 0u);
+  EXPECT_TRUE(GraphStore::can_open(dir.path()));
+  EXPECT_EQ(store.persist(), 0u);  // idempotent no-op when durable
+
+  // Garbage CURRENT is rejected, not guessed at.
+  write_file_atomic(dir.path() + "/CURRENT", "banana\n");
+  EXPECT_THROW((void)GraphStore::open(dir.path()), RequirementError);
+  // CURRENT naming a version with no manifest is rejected.
+  write_file_atomic(dir.path() + "/CURRENT", "7\n");
+  EXPECT_THROW((void)GraphStore::open(dir.path()), RequirementError);
+  write_file_atomic(dir.path() + "/CURRENT", "0\n");
+  EXPECT_NO_THROW((void)GraphStore::open(dir.path()));
+  // A flipped payload byte in a referenced array fails the reopen.
+  overwrite_byte(dir.path() + "/capacities.v0.arena", 64 + 5, 'X');
+  EXPECT_THROW((void)GraphStore::open(dir.path()), RequirementError);
+}
+
+// --- engine cold start -------------------------------------------------------
+
+TEST(EngineColdStart, ReopenServesBitwiseIdenticalWithZeroRebuilds) {
+  TempDir dir;
+  GraphStoreOptions gopts;
+  gopts.persist = PersistPolicy::kOnPublish;
+  gopts.data_dir = dir.path();
+  const EngineOptions eopts = small_engine_options();
+
+  std::vector<double> demand(64, 0.0);
+  demand[0] = 2.0;
+  demand[5] = -1.0;
+  demand[63] = -1.0;
+
+  MaxFlowApproxResult warm_flow;
+  RouteResult warm_route;
+  std::uint64_t warm_transcript = 0;
+  {
+    auto store = std::make_shared<GraphStore>(test_grid(), gopts);
+    FlowEngine engine(store, eopts);
+    EXPECT_EQ(engine.stats().hierarchy_cold_loads, 0);
+    EXPECT_GE(engine.stats().hierarchy_saves, 1);
+    warm_flow = engine.submit(MaxFlowQuery{0, 63}).get().value();
+    warm_route = engine.submit(RouteQuery{demand}).get().value();
+    warm_transcript = engine.submit(CongestQuery{0, 63})
+                          .get()
+                          .value()
+                          .stats.transcript_hash;
+  }  // SIGKILL stand-in: nothing flushed beyond what publish wrote
+
+  auto reopened = GraphStore::open(dir.path(), gopts);
+  FlowEngine cold(reopened, eopts);
+  const EngineStats stats = cold.stats();
+  EXPECT_EQ(stats.hierarchy_cold_loads, 1);
+  EXPECT_EQ(stats.hierarchy_load_failures, 0);
+  EXPECT_EQ(stats.rebuild.started, 0);
+
+  const MaxFlowApproxResult cold_flow =
+      cold.submit(MaxFlowQuery{0, 63}).get().value();
+  EXPECT_EQ(cold_flow.value, warm_flow.value);  // bitwise, not approx
+  EXPECT_EQ(cold_flow.flow, warm_flow.flow);
+  EXPECT_EQ(cold_flow.alpha, warm_flow.alpha);
+  const RouteResult cold_route =
+      cold.submit(RouteQuery{demand}).get().value();
+  EXPECT_EQ(cold_route.flow, warm_route.flow);
+  EXPECT_EQ(cold_route.congestion, warm_route.congestion);
+  EXPECT_EQ(cold.submit(CongestQuery{0, 63})
+                .get()
+                .value()
+                .stats.transcript_hash,
+            warm_transcript);
+  // Still zero rebuilds after serving.
+  EXPECT_EQ(cold.stats().rebuild.started, 0);
+}
+
+TEST(EngineColdStart, MutationAfterReopenMatchesFreshEngine) {
+  TempDir dir;
+  GraphStoreOptions gopts;
+  gopts.persist = PersistPolicy::kOnPublish;
+  gopts.data_dir = dir.path();
+  const EngineOptions eopts = small_engine_options();
+  {
+    auto store = std::make_shared<GraphStore>(test_grid(), gopts);
+    FlowEngine engine(store, eopts);
+    (void)engine.submit(MaxFlowQuery{0, 63}).get();
+  }
+
+  auto reopened = GraphStore::open(dir.path(), gopts);
+  FlowEngine cold(reopened, eopts);
+  MutationBatch batch;
+  batch.set_capacity(0, 9.75).set_capacity(7, 0.5);
+  const ApplyResult applied = cold.apply(batch);
+  ASSERT_TRUE(cold.wait_for_version(applied.version, 120.0));
+  const MaxFlowApproxResult after =
+      cold.submit(MaxFlowQuery{0, 63}).get().value();
+
+  // A fresh engine built directly on the mutated graph agrees bitwise:
+  // the cold-open + repair path changes where state comes from, never
+  // what it is.
+  auto plain = std::make_shared<GraphStore>(test_grid(), GraphStoreOptions{});
+  FlowEngine fresh(plain, eopts);
+  const ApplyResult fresh_applied = fresh.apply(batch);
+  ASSERT_TRUE(fresh.wait_for_version(fresh_applied.version, 120.0));
+  const MaxFlowApproxResult want =
+      fresh.submit(MaxFlowQuery{0, 63}).get().value();
+  EXPECT_EQ(after.value, want.value);
+  EXPECT_EQ(after.flow, want.flow);
+  EXPECT_EQ(after.alpha, want.alpha);
+}
+
+TEST(EngineColdStart, FingerprintMismatchFallsBackToBuild) {
+  TempDir dir;
+  GraphStoreOptions gopts;
+  gopts.persist = PersistPolicy::kOnPublish;
+  gopts.data_dir = dir.path();
+  {
+    auto store = std::make_shared<GraphStore>(test_grid(), gopts);
+    FlowEngine engine(store, small_engine_options());
+  }
+  EngineOptions other = small_engine_options();
+  other.seed = 4242;  // different stream: the persisted trees are stale
+  FlowEngine cold(GraphStore::open(dir.path(), gopts), other);
+  const EngineStats stats = cold.stats();
+  EXPECT_EQ(stats.hierarchy_cold_loads, 0);  // clean miss, not a failure
+  EXPECT_EQ(stats.hierarchy_load_failures, 0);
+  EXPECT_TRUE(cold.submit(MaxFlowQuery{0, 63}).get().ok());
+}
+
+TEST(EngineColdStart, CorruptHierarchyFallsBackToBuild) {
+  TempDir dir;
+  GraphStoreOptions gopts;
+  gopts.persist = PersistPolicy::kOnPublish;
+  gopts.data_dir = dir.path();
+  const EngineOptions eopts = small_engine_options();
+  MaxFlowApproxResult warm;
+  {
+    auto store = std::make_shared<GraphStore>(test_grid(), gopts);
+    FlowEngine engine(store, eopts);
+    warm = engine.submit(MaxFlowQuery{0, 63}).get().value();
+  }
+  overwrite_byte(dir.path() + "/hier.v0.parents.arena", 64 + 9, 'X');
+  FlowEngine cold(GraphStore::open(dir.path(), gopts), eopts);
+  const EngineStats stats = cold.stats();
+  EXPECT_EQ(stats.hierarchy_cold_loads, 0);
+  EXPECT_EQ(stats.hierarchy_load_failures, 1);
+  // The rebuilt hierarchy still answers identically.
+  EXPECT_EQ(cold.submit(MaxFlowQuery{0, 63}).get().value().value, warm.value);
+}
+
+TEST(EngineColdStart, ManualEnginePersistEnablesColdOpen) {
+  TempDir dir;
+  GraphStoreOptions gopts;
+  gopts.data_dir = dir.path();  // kNone: nothing persists until asked
+  const EngineOptions eopts = small_engine_options();
+  MaxFlowApproxResult warm;
+  {
+    auto store = std::make_shared<GraphStore>(test_grid(), gopts);
+    FlowEngine engine(store, eopts);
+    warm = engine.submit(MaxFlowQuery{0, 63}).get().value();
+    EXPECT_FALSE(GraphStore::can_open(dir.path()));
+    EXPECT_EQ(engine.persist(), 0u);
+    EXPECT_EQ(engine.stats().hierarchy_saves, 1);
+  }
+  FlowEngine cold(GraphStore::open(dir.path(), gopts), eopts);
+  EXPECT_EQ(cold.stats().hierarchy_cold_loads, 1);
+  EXPECT_EQ(cold.submit(MaxFlowQuery{0, 63}).get().value().flow, warm.flow);
+}
+
+TEST(EngineColdStart, PersistWithoutDataDirThrows) {
+  FlowEngine engine(test_grid(), small_engine_options());
+  EXPECT_THROW((void)engine.persist(), RequirementError);
+}
+
+}  // namespace
+}  // namespace dmf

@@ -105,9 +105,8 @@ TEST(ApplyResult, PlanAndImplicitVersionConversion) {
   EXPECT_EQ(r3.plan, RebuildPlan::kFullRebuild);
   ASSERT_TRUE(engine.wait_for_version(r3.version, 120.0));
 
-  // The legacy-style call keeps compiling: ApplyResult converts to the
-  // published GraphVersion.
-  const GraphVersion v = engine.apply(MutationBatch{}.set_capacity(0, 2.0));
+  const GraphVersion v =
+      engine.apply(MutationBatch{}.set_capacity(0, 2.0)).version;
   EXPECT_EQ(v, 4u);
   ASSERT_TRUE(engine.wait_for_version(4, 120.0));
 }

@@ -471,7 +471,7 @@ TEST(FlowEngineSharded, MinVersionParkingAndMutationOnShardedBackend) {
 
   MutationBatch update;
   update.set_capacity(0, 7.0);
-  const GraphVersion v = engine.apply(update);
+  const GraphVersion v = engine.apply(update).version;
   SubmitOptions fresh_only;
   fresh_only.min_version = v;
   MaxFlowTicket probe = engine.submit(MaxFlowQuery{0, 49}, fresh_only);

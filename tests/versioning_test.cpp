@@ -353,7 +353,7 @@ TEST(FlowEngineVersioning, RollingAppliesConverge) {
   for (int round = 0; round < 5; ++round) {
     MutationBatch batch;
     batch.set_capacity(round, 2.0 + round);
-    last = engine.apply(batch);  // ApplyResult -> GraphVersion shim
+    last = engine.apply(batch).version;
     (void)engine.submit(MaxFlowQuery{0, 71}).get();
   }
   EXPECT_EQ(last, 5u);
