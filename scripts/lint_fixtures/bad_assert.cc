@@ -1,0 +1,20 @@
+// dmf-lint-fixture-path: src/util/bounds_bad.h
+// C assert() at an API boundary (a header) must fail
+// require-not-assert; static_assert and DMF_REQUIRE must stay clean.
+#include <cassert>
+#include <cstddef>
+
+#include "util/require.h"
+
+namespace dmf {
+
+static_assert(sizeof(std::size_t) >= 4, "clean: static_assert");
+
+inline int checked_index(int i, int n) {
+  // expect-lint: require-not-assert
+  assert(i >= 0 && i < n);
+  DMF_REQUIRE(i >= 0 && i < n, "clean: the project macro");
+  return i;
+}
+
+}  // namespace dmf

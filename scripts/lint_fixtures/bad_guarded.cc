@@ -1,0 +1,34 @@
+// dmf-lint-fixture-path: src/engine/guarded_bad.cpp
+// Acceptance demo: an unguarded access to a DMF_GUARDED_BY field must
+// fail the unguarded-field check (clang -Werror=thread-safety is the
+// authoritative version of this gate; the lint rule is the local
+// backstop). Locked and REQUIRES-annotated accesses must stay clean,
+// as must the constructor — clang TSA exempts ctors/dtors too.
+#include "util/thread_annotations.h"
+
+namespace dmf {
+
+class Counter {
+ public:
+  Counter() { value_ = 0; }  // ctor: exempt
+
+  void increment() {
+    MutexLock lock(mutex_);
+    ++value_;  // locked: clean
+  }
+
+  void increment_locked() DMF_REQUIRES(mutex_) {
+    ++value_;  // caller holds it: clean
+  }
+
+  long read_racy() const {
+    // expect-lint: unguarded-field
+    return value_;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  long value_ DMF_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace dmf

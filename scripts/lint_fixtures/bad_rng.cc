@@ -1,0 +1,24 @@
+// dmf-lint-fixture-path: src/maxflow/rng_bad.cpp
+// Environment entropy in a solver path: every line below must trip
+// nondeterministic-rng. Comment mentions of rand( or time( must NOT
+// trip it — the linter strips comments first.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace dmf {
+
+int bad_seed() {
+  // expect-lint: nondeterministic-rng
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  // expect-lint: nondeterministic-rng
+  return rand();
+}
+
+unsigned bad_device_seed() {
+  // expect-lint: nondeterministic-rng
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace dmf

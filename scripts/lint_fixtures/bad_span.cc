@@ -1,0 +1,28 @@
+// dmf-lint-fixture-path: src/graph/csr_bad.h
+// A Span-surface header (it hands out Span<T>) growing a new
+// const-vector-reference accessor must fail span-convention.
+// Vector *parameters* are fine.
+#include <vector>
+
+#include "util/span.h"
+
+namespace dmf {
+
+class PackedArrays {
+ public:
+  [[nodiscard]] Span<const int> offsets() const {
+    return {offsets_.data(), offsets_.size()};  // the convention
+  }
+
+  // expect-lint: span-convention
+  [[nodiscard]] const std::vector<int>& offsets_vector() const {
+    return offsets_;
+  }
+
+  void assign(const std::vector<int>& from) { offsets_ = from; }  // clean
+
+ private:
+  std::vector<int> offsets_;
+};
+
+}  // namespace dmf

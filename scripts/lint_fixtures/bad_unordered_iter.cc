@@ -1,0 +1,27 @@
+// dmf-lint-fixture-path: src/maxflow/iter_bad.cpp
+// Acceptance demo: an unordered_map iteration introduced in
+// src/maxflow/ must fail the unordered-iteration check. Keyed lookups
+// on the same container are fine and must stay clean.
+#include <cstdint>
+#include <unordered_map>
+
+namespace dmf {
+
+double fold_flow(const std::unordered_map<std::uint64_t, double>& by_edge);
+
+double sum_levels() {
+  std::unordered_map<int, double> level_excess;
+  level_excess[3] = 1.5;
+  double total = level_excess.at(3);  // lookup: clean
+  // expect-lint: unordered-iteration
+  for (const auto& [level, excess] : level_excess) {
+    total += excess;
+  }
+  // expect-lint: unordered-iteration
+  for (auto it = level_excess.begin(); it != level_excess.end(); ++it) {
+    total += it->second;
+  }
+  return total;
+}
+
+}  // namespace dmf

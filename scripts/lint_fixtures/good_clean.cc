@@ -1,0 +1,23 @@
+// dmf-lint-fixture-path: src/maxflow/clean_ok.cpp
+// The idioms the rules are steering toward; zero findings expected.
+// Mentions of rand() or time() in comments must not fire, nor must
+// string literals: "call rand() and time(NULL)".
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dmf {
+
+double deterministic_fold() {
+  std::map<int, double> by_level;  // ordered: iteration is reproducible
+  by_level[1] = 2.0;
+  double acc = 0.0;
+  for (const auto& [level, excess] : by_level) {
+    acc += static_cast<double>(level) * excess;
+  }
+  const std::string doc = "call rand() and time(NULL)";
+  return acc + static_cast<double>(doc.size());
+}
+
+}  // namespace dmf

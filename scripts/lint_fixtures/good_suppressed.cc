@@ -1,0 +1,27 @@
+// dmf-lint-fixture-path: src/maxflow/suppressed_ok.cpp
+// The inline suppression syntax: both placements (same line, previous
+// line) must silence exactly the named rule. This fixture expects zero
+// findings.
+#include <cstdlib>
+#include <unordered_map>
+
+namespace dmf {
+
+int justified_entropy() {
+  // Hypothetical justified use (e.g. a perf-probe id that never feeds
+  // a result): suppressed on the same line.
+  return rand();  // dmf-lint: allow(nondeterministic-rng) probe id only
+}
+
+double justified_iteration() {
+  std::unordered_map<int, double> scratch;
+  double acc = 0.0;
+  // Order-insensitive fold (+ over doubles of one magnitude bucket):
+  // dmf-lint: allow(unordered-iteration) commutative fold, order-free
+  for (const auto& [k, v] : scratch) {
+    acc += v;
+  }
+  return acc;
+}
+
+}  // namespace dmf

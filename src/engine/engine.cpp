@@ -3,10 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <exception>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -21,6 +19,7 @@
 #include "graph/flow.h"
 #include "maxflow/hierarchy_io.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace dmf {
 
@@ -300,8 +299,8 @@ struct FlowEngine::Core {
 
   std::shared_ptr<GraphStore> store;
   EngineOptions options;
-  EngineStats stats;
-  mutable std::mutex stats_mutex;
+  mutable Mutex stats_mutex;
+  EngineStats stats DMF_GUARDED_BY(stats_mutex);
   // Whether the engine derived route_residual_tolerance itself (the
   // caller left it at the library default with tuning enabled); only
   // then may per-query option derivation re-derive it.
@@ -324,26 +323,26 @@ struct FlowEngine::Core {
   // Lock order: version_mutex may be taken first and stats_mutex inside
   // it; never the reverse. Pool locks are below both (the pool never
   // calls back into the engine while holding its own lock).
-  mutable std::mutex version_mutex;
-  std::condition_variable version_cv;  // signaled on every swap
-  std::shared_ptr<const Serving> serving;
+  mutable Mutex version_mutex DMF_ACQUIRED_BEFORE(stats_mutex);
+  CondVar version_cv;  // signaled on every swap
+  std::shared_ptr<const Serving> serving DMF_GUARDED_BY(version_mutex);
   // Highest version a build has already begun (or finished) for;
   // coalesces the rebuild tasks of back-to-back applies.
-  GraphVersion rebuild_target = 0;
+  GraphVersion rebuild_target DMF_GUARDED_BY(version_mutex) = 0;
   // Rebuild tasks scheduled but not yet finished (run to completion,
   // failed, skipped, or cancelled at shutdown). wait_for_version and
   // the failure path use it to tell "a build toward this version is
   // still coming" from "nothing pending can serve this version".
-  int pending_rebuilds = 0;
+  int pending_rebuilds DMF_GUARDED_BY(version_mutex) = 0;
   struct ParkedQuery {
     std::uint64_t id = 0;
     GraphVersion min_version = 0;
   };
-  std::vector<ParkedQuery> parked;
+  std::vector<ParkedQuery> parked DMF_GUARDED_BY(version_mutex);
   // Cache counters of retired snapshots, folded in on swap so stats
-  // stay cumulative across generations (guarded by stats_mutex).
-  std::int64_t retired_cache_hits = 0;
-  std::int64_t retired_cache_misses = 0;
+  // stay cumulative across generations.
+  std::int64_t retired_cache_hits DMF_GUARDED_BY(stats_mutex) = 0;
+  std::int64_t retired_cache_misses DMF_GUARDED_BY(stats_mutex) = 0;
   // For releasing parked queries after a swap; weak so Core never keeps
   // the dispatcher (and its threads) alive past the engine.
   std::weak_ptr<QueryDispatcher> pool;
@@ -450,7 +449,7 @@ struct FlowEngine::Core {
     if (!hier_autosave) return;
     try {
       save_hierarchy(store->data_dir(), h, hier_fingerprint);
-      std::lock_guard<std::mutex> lock(stats_mutex);
+      MutexLock lock(stats_mutex);
       ++stats.hierarchy_saves;
     } catch (...) {
       // Leave the partial files; the meta-written-last protocol makes
@@ -476,13 +475,14 @@ struct FlowEngine::Core {
   }
 
   [[nodiscard]] std::shared_ptr<const Serving> current_serving() const {
-    std::lock_guard<std::mutex> lock(version_mutex);
+    MutexLock lock(version_mutex);
     return serving;
   }
 
   // Remove and return the parked ids satisfied by `version`. Caller
   // holds version_mutex.
-  std::vector<std::uint64_t> take_parked_up_to(GraphVersion version) {
+  std::vector<std::uint64_t> take_parked_up_to(GraphVersion version)
+      DMF_REQUIRES(version_mutex) {
     std::vector<std::uint64_t> ids;
     auto it = parked.begin();
     while (it != parked.end()) {
@@ -499,7 +499,7 @@ struct FlowEngine::Core {
   // Caller holds version_mutex. Every scheduled rebuild task finishes
   // through here exactly once (completion, failure, skip, or shutdown
   // cancellation); waiters re-check their predicate afterwards.
-  void finish_pending_rebuild_locked() {
+  void finish_pending_rebuild_locked() DMF_REQUIRES(version_mutex) {
     DMF_ASSERT(pending_rebuilds > 0, "pending_rebuilds underflow");
     --pending_rebuilds;
   }
@@ -531,7 +531,7 @@ struct FlowEngine::Core {
     GraphSnapshot target;
     std::shared_ptr<const Serving> prev;
     {
-      std::lock_guard<std::mutex> lock(version_mutex);
+      MutexLock lock(version_mutex);
       target = store->snapshot();
       if (serving->snapshot.version >= target.version ||
           rebuild_target >= target.version) {  // current or already building
@@ -543,7 +543,7 @@ struct FlowEngine::Core {
       prev = serving;
     }
     {
-      std::lock_guard<std::mutex> lock(stats_mutex);
+      MutexLock lock(stats_mutex);
       ++stats.rebuild.started;
     }
     const auto start = std::chrono::steady_clock::now();
@@ -560,7 +560,7 @@ struct FlowEngine::Core {
     }
     const bool repaired = next != nullptr;
     if (report.attempted) {
-      std::lock_guard<std::mutex> lock(stats_mutex);
+      MutexLock lock(stats_mutex);
       ++stats.rebuild.repairs_started;
       if (!repaired) ++stats.rebuild.repairs_failed;
     }
@@ -576,7 +576,7 @@ struct FlowEngine::Core {
       // left pending.
       std::vector<std::uint64_t> doomed;
       {
-        std::lock_guard<std::mutex> lock(version_mutex);
+        MutexLock lock(version_mutex);
         if (rebuild_target == target.version) {
           rebuild_target = serving->snapshot.version;  // allow a retry
         }
@@ -586,7 +586,7 @@ struct FlowEngine::Core {
         }
       }
       {
-        std::lock_guard<std::mutex> lock(stats_mutex);
+        MutexLock lock(stats_mutex);
         ++stats.rebuild.failed;
       }
       version_cv.notify_all();
@@ -605,7 +605,7 @@ struct FlowEngine::Core {
     std::shared_ptr<const Serving> retired;
     std::vector<std::uint64_t> ready;
     {
-      std::lock_guard<std::mutex> lock(version_mutex);
+      MutexLock lock(version_mutex);
       finish_pending_rebuild_locked();
       if (serving->snapshot.version >= target.version) {  // lost race
         version_cv.notify_all();
@@ -616,7 +616,7 @@ struct FlowEngine::Core {
       ready = take_parked_up_to(target.version);
       // Stats land before waiters wake: once wait_for_version returns,
       // stats() already accounts the refresh that released it.
-      std::lock_guard<std::mutex> stats_lock(stats_mutex);
+      MutexLock stats_lock(stats_mutex);
       ++stats.rebuild.completed;
       stats.rebuild.seconds_total += build_seconds;
       if (repaired) {
@@ -908,7 +908,8 @@ struct FlowEngine::Core {
   // --- stats ---
 
   template <typename T>
-  void absorb_common(const Result<T>& r, bool stale) {
+  void absorb_common(const Result<T>& r, bool stale)
+      DMF_REQUIRES(stats_mutex) {
     if (!r.ok()) {
       ++stats.queries_failed;
       return;
@@ -920,13 +921,13 @@ struct FlowEngine::Core {
   }
 
   void absorb(const Result<MaxFlowApproxResult>& r, bool stale) {
-    std::lock_guard<std::mutex> lock(stats_mutex);
+    MutexLock lock(stats_mutex);
     absorb_common(r, stale);
     if (r.ok()) stats.query_rounds_total += r.payload->rounds;
   }
 
   void absorb(const Result<RouteResult>& r, bool stale) {
-    std::lock_guard<std::mutex> lock(stats_mutex);
+    MutexLock lock(stats_mutex);
     absorb_common(r, stale);
     if (r.ok()) {
       stats.query_rounds_total += r.payload->rounds;
@@ -936,19 +937,19 @@ struct FlowEngine::Core {
   }
 
   void absorb(const Result<MultiTerminalMaxFlowResult>& r, bool stale) {
-    std::lock_guard<std::mutex> lock(stats_mutex);
+    MutexLock lock(stats_mutex);
     absorb_common(r, stale);
     if (r.ok()) stats.query_rounds_total += r.payload->rounds;
   }
 
   void absorb(const Result<CongestRunResult>& r, bool stale) {
-    std::lock_guard<std::mutex> lock(stats_mutex);
+    MutexLock lock(stats_mutex);
     absorb_common(r, stale);
     if (r.ok()) stats.query_rounds_total += r.payload->stats.rounds;
   }
 
   void absorb_cancelled() {
-    std::lock_guard<std::mutex> lock(stats_mutex);
+    MutexLock lock(stats_mutex);
     ++stats.queries_cancelled;
   }
 
@@ -958,10 +959,10 @@ struct FlowEngine::Core {
   // all describe the same instant.
   [[nodiscard]] EngineStats snapshot_stats() const {
     EngineStats out;
-    std::lock_guard<std::mutex> version_lock(version_mutex);
+    MutexLock version_lock(version_mutex);
     const std::shared_ptr<const Serving>& s = serving;
     {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex);
+      MutexLock stats_lock(stats_mutex);
       out = stats;
       out.hierarchy_cache_hits = retired_cache_hits;
       out.hierarchy_cache_misses = retired_cache_misses;
@@ -1147,13 +1148,13 @@ Ticket<Payload> FlowEngine::submit_impl(
     // Park under the version lock: a swap flushing the parked list also
     // holds it, so the query either sees a fresh-enough serving here or
     // is registered before any future flush can run.
-    std::lock_guard<std::mutex> lock(core->version_mutex);
+    MutexLock lock(core->version_mutex);
     if (core->serving->snapshot.version < opts.min_version) {
       id = pool_->dispatch_parked(opts.priority, std::move(run),
                                   std::move(cancelled), lane);
       core->parked.push_back({id, opts.min_version});
       {
-        std::lock_guard<std::mutex> slock(core->stats_mutex);
+        MutexLock slock(core->stats_mutex);
         ++core->stats.queries_parked;
       }
       submitted = true;
@@ -1226,7 +1227,7 @@ void FlowEngine::wait_all() { pool_->wait_all(); }
 void FlowEngine::schedule_rebuild() {
   auto core = core_;
   {
-    std::lock_guard<std::mutex> lock(core->version_mutex);
+    MutexLock lock(core->version_mutex);
     ++core->pending_rebuilds;
   }
   try {
@@ -1237,7 +1238,7 @@ void FlowEngine::schedule_rebuild() {
           // snapshot simply served to the end. Wake waiters so
           // wait_for_version returns false instead of hanging.
           {
-            std::lock_guard<std::mutex> lock(core->version_mutex);
+            MutexLock lock(core->version_mutex);
             core->finish_pending_rebuild_locked();
           }
           core->version_cv.notify_all();
@@ -1245,7 +1246,7 @@ void FlowEngine::schedule_rebuild() {
         QueryDispatcher::kControlLane);
   } catch (...) {
     {
-      std::lock_guard<std::mutex> lock(core->version_mutex);
+      MutexLock lock(core->version_mutex);
       core->finish_pending_rebuild_locked();
     }
     core->version_cv.notify_all();
@@ -1295,7 +1296,7 @@ bool FlowEngine::wait_for_version(GraphVersion version,
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(std::max(0.0, timeout_seconds)));
-  std::unique_lock<std::mutex> lock(core->version_mutex);
+  MutexLock lock(core->version_mutex);
   for (;;) {
     if (core->serving->snapshot.version >= version) return true;
     // Nothing pending can reach `version` (the rebuild failed, was
@@ -1304,8 +1305,8 @@ bool FlowEngine::wait_for_version(GraphVersion version,
     // a fresh wait succeed.
     if (core->pending_rebuilds == 0) return false;
     if (timeout_seconds < 0.0) {
-      core->version_cv.wait(lock);
-    } else if (core->version_cv.wait_until(lock, deadline) ==
+      core->version_cv.wait(core->version_mutex);
+    } else if (core->version_cv.wait_until(core->version_mutex, deadline) ==
                std::cv_status::timeout) {
       return core->serving->snapshot.version >= version;
     }
@@ -1322,7 +1323,7 @@ GraphVersion FlowEngine::persist() {
   save_hierarchy(core->store->data_dir(), *serving->hierarchy,
                  core->hier_fingerprint);
   {
-    std::lock_guard<std::mutex> lock(core->stats_mutex);
+    MutexLock lock(core->stats_mutex);
     ++core->stats.hierarchy_saves;
   }
   return version;

@@ -20,7 +20,7 @@ std::shared_ptr<const SuperTerminalHierarchy> HierarchyCache::get_or_build(
   bool building = false;
   std::uint64_t generation = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
@@ -62,7 +62,7 @@ std::shared_ptr<const SuperTerminalHierarchy> HierarchyCache::get_or_build(
 }
 
 void HierarchyCache::drop(const Key& key, std::uint64_t generation) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end() || it->second.generation != generation) return;
   lru_.erase(it->second.lru_position);
@@ -70,22 +70,22 @@ void HierarchyCache::drop(const Key& key, std::uint64_t generation) {
 }
 
 std::int64_t HierarchyCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return hits_;
 }
 
 std::int64_t HierarchyCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return misses_;
 }
 
 std::size_t HierarchyCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 void HierarchyCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
   lru_.clear();
   hits_ = 0;

@@ -32,11 +32,11 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "graph/graph.h"
 #include "maxflow/multi_terminal.h"
+#include "util/thread_annotations.h"
 
 namespace dmf {
 
@@ -85,12 +85,13 @@ class HierarchyCache {
   void drop(const Key& key, std::uint64_t generation);
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::map<Key, Slot> entries_;
-  std::list<Key> lru_;  // front = most recently used
-  std::uint64_t next_generation_ = 1;
-  std::int64_t hits_ = 0;
-  std::int64_t misses_ = 0;
+  mutable Mutex mutex_;
+  std::map<Key, Slot> entries_ DMF_GUARDED_BY(mutex_);
+  // front = most recently used
+  std::list<Key> lru_ DMF_GUARDED_BY(mutex_);
+  std::uint64_t next_generation_ DMF_GUARDED_BY(mutex_) = 1;
+  std::int64_t hits_ DMF_GUARDED_BY(mutex_) = 0;
+  std::int64_t misses_ DMF_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace dmf

@@ -46,6 +46,7 @@ ErrorCode classify_error(const std::exception& e) {
 
 WorkerPool::WorkerPool(int threads) {
   const int count = resolve_worker_threads(threads);
+  thread_count_ = count;
   workers_.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -62,7 +63,7 @@ std::uint64_t WorkerPool::enqueue(int priority, std::function<void()> run,
   state->cancelled = std::move(cancelled);
   if (parked) state->status.store(kParked);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     DMF_REQUIRE(!stopping_, "WorkerPool: submit after shutdown");
     state->id = next_id_++;
     by_id_.emplace(state->id, state);
@@ -93,7 +94,7 @@ bool WorkerPool::release(std::uint64_t id) {
   // stopping_ and leaves it parked for shutdown's kVersionUnavailable
   // sweep.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = by_id_.find(id);
     if (it == by_id_.end() || stopping_) return false;
     const std::shared_ptr<TaskState>& state = it->second;
@@ -110,7 +111,7 @@ bool WorkerPool::release(std::uint64_t id) {
 bool WorkerPool::fail_parked(std::uint64_t id, ErrorCode code) {
   std::shared_ptr<TaskState> state;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = by_id_.find(id);
     if (it == by_id_.end()) return false;
     state = it->second;
@@ -128,7 +129,7 @@ bool WorkerPool::fail_parked(std::uint64_t id, ErrorCode code) {
 bool WorkerPool::cancel(std::uint64_t id) {
   std::shared_ptr<TaskState> state;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = by_id_.find(id);
     if (it == by_id_.end()) return false;
     state = it->second;
@@ -147,16 +148,22 @@ bool WorkerPool::cancel(std::uint64_t id) {
 }
 
 void WorkerPool::wait_all() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mutex_);
+  while (pending_ != 0) idle_cv_.wait(mutex_);
 }
 
 void WorkerPool::shutdown() {
   std::vector<std::shared_ptr<TaskState>> to_cancel;
   std::vector<std::shared_ptr<TaskState>> parked;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_ && workers_.empty()) return;
+    MutexLock lock(mutex_);
+    if (stopping_) {
+      // Another caller won the handshake and owns the join. Wait for it
+      // rather than racing it to workers_ (two threads joining the same
+      // std::thread is undefined behavior).
+      while (!joined_) idle_cv_.wait(mutex_);
+      return;
+    }
     stopping_ = true;
     // Drain the queue: whatever a worker has not yet claimed is failed
     // with kShutdown instead of silently dropped (every promise must be
@@ -190,14 +197,19 @@ void WorkerPool::shutdown() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  {
+    MutexLock lock(mutex_);
+    joined_ = true;
+  }
+  idle_cv_.notify_all();
 }
 
 void WorkerPool::worker_loop() {
   while (true) {
     std::shared_ptr<TaskState> state;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_cv_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and nothing left to run
       state = queue_.top().state;
       queue_.pop();
@@ -215,7 +227,7 @@ void WorkerPool::worker_loop() {
 void WorkerPool::finish_one(std::uint64_t id) {
   bool idle = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     by_id_.erase(id);
     DMF_REQUIRE(pending_ > 0, "WorkerPool: pending underflow");
     --pending_;

@@ -17,12 +17,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <unordered_map>
@@ -30,6 +28,7 @@
 
 #include "engine/result.h"
 #include "graph/graph.h"
+#include "util/thread_annotations.h"
 
 namespace dmf {
 
@@ -173,9 +172,7 @@ class WorkerPool : public QueryDispatcher {
   // called by the destructor.
   void shutdown() override;
 
-  [[nodiscard]] int threads() const override {
-    return static_cast<int>(workers_.size());
-  }
+  [[nodiscard]] int threads() const override { return thread_count_; }
   [[nodiscard]] std::int64_t cancelled_count() const override {
     return cancelled_.load(std::memory_order_relaxed);
   }
@@ -214,15 +211,22 @@ class WorkerPool : public QueryDispatcher {
   void worker_loop();
   void finish_one(std::uint64_t id);
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;   // workers: queue non-empty or stopping
-  std::condition_variable idle_cv_;   // wait_all: pending reached zero
-  std::priority_queue<QueueEntry> queue_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<TaskState>> by_id_;
-  std::uint64_t next_id_ = 1;
-  std::size_t pending_ = 0;  // submitted but not yet run/cancelled
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  CondVar work_cv_;  // workers: queue non-empty or stopping
+  CondVar idle_cv_;  // wait_all: pending reached zero; shutdown: joined
+  std::priority_queue<QueueEntry> queue_ DMF_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, std::shared_ptr<TaskState>> by_id_
+      DMF_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ DMF_GUARDED_BY(mutex_) = 1;
+  // Submitted but not yet run/cancelled.
+  std::size_t pending_ DMF_GUARDED_BY(mutex_) = 0;
+  bool stopping_ DMF_GUARDED_BY(mutex_) = false;
+  bool joined_ DMF_GUARDED_BY(mutex_) = false;  // shutdown finished joining
   std::atomic<std::int64_t> cancelled_{0};
+  int thread_count_ = 0;  // set once in the constructor, then read-only
+  // Filled by the constructor before any concurrency exists; joined by
+  // the single shutdown() caller that wins the stopping_ handshake, so
+  // never touched by two threads at once.
   std::vector<std::thread> workers_;
 };
 

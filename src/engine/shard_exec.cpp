@@ -65,7 +65,7 @@ std::shared_ptr<ShardedDispatcher::Task> ShardedDispatcher::make_task(
   task->cancelled = std::move(cancelled);
   if (parked) task->status.store(kParked);
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     DMF_REQUIRE(!stopping_.load(std::memory_order_acquire),
                 "ShardedDispatcher: dispatch after shutdown");
     task->id = next_id_++;
@@ -109,7 +109,7 @@ std::uint64_t ShardedDispatcher::dispatch_parked(int priority,
 bool ShardedDispatcher::push_to_lane(int lane_idx,
                                      std::shared_ptr<Task> task) {
   if (lane_idx == kControlLane) {
-    std::lock_guard<std::mutex> lock(control_mutex_);
+    MutexLock lock(control_mutex_);
     if (stopping_.load(std::memory_order_acquire)) return false;
     control_queue_.push_back(std::move(task));
     control_cv_.notify_one();
@@ -119,8 +119,10 @@ bool ShardedDispatcher::push_to_lane(int lane_idx,
   // Serialize submitters into the ring's single producer slot. Held
   // across a full-ring wait too: ordering among blocked producers is
   // not a contract, and shutdown's close-under-this-mutex relies on no
-  // push straddling the close.
-  std::lock_guard<std::mutex> producer(lane.producer_mutex);
+  // push straddling the close. Holding it is what confers the ring's
+  // producer role.
+  MutexLock producer(lane.producer_mutex);
+  lane.ring.producer_role().held();
   for (;;) {
     if (lane.ring.closed()) return false;
     std::shared_ptr<Task> slot = task;
@@ -129,19 +131,21 @@ bool ShardedDispatcher::push_to_lane(int lane_idx,
     // block briefly; the consumer notifies after every pop while
     // producers_waiting is set.
     lane.ring_full_waits.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> wake(lane.wake_mutex);
-    lane.producers_waiting.fetch_add(1, std::memory_order_seq_cst);
-    lane.space_cv.wait_for(wake, kProducerNap, [&lane] {
-      return lane.ring.closed() ||
-             lane.ring.size_approx() < lane.ring.capacity();
-    });
-    lane.producers_waiting.fetch_sub(1, std::memory_order_seq_cst);
+    {
+      MutexLock wake(lane.wake_mutex);
+      lane.producers_waiting.fetch_add(1, std::memory_order_seq_cst);
+      lane.space_cv.wait_for(lane.wake_mutex, kProducerNap, [&lane] {
+        return lane.ring.closed() ||
+               lane.ring.size_approx() < lane.ring.capacity();
+      });
+      lane.producers_waiting.fetch_sub(1, std::memory_order_seq_cst);
+    }
   }
   // Wake the consumer only if it announced it was sleeping; the
   // seq_cst fence pair with shard_loop's announce-then-recheck makes a
   // missed flag imply the consumer saw our push.
   if (lane.sleeping.load(std::memory_order_seq_cst)) {
-    std::lock_guard<std::mutex> wake(lane.wake_mutex);
+    MutexLock wake(lane.wake_mutex);
     lane.wake_cv.notify_one();
   }
   return true;
@@ -150,7 +154,7 @@ bool ShardedDispatcher::push_to_lane(int lane_idx,
 bool ShardedDispatcher::release(std::uint64_t id) {
   std::shared_ptr<Task> task;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     const auto it = by_id_.find(id);
     if (it == by_id_.end() ||
         stopping_.load(std::memory_order_acquire)) {
@@ -174,7 +178,7 @@ bool ShardedDispatcher::release(std::uint64_t id) {
 bool ShardedDispatcher::fail_parked(std::uint64_t id, ErrorCode code) {
   std::shared_ptr<Task> task;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     const auto it = by_id_.find(id);
     if (it == by_id_.end()) return false;
     task = it->second;
@@ -192,7 +196,7 @@ bool ShardedDispatcher::fail_parked(std::uint64_t id, ErrorCode code) {
 bool ShardedDispatcher::cancel(std::uint64_t id) {
   std::shared_ptr<Task> task;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     const auto it = by_id_.find(id);
     if (it == by_id_.end()) return false;
     task = it->second;
@@ -211,14 +215,20 @@ bool ShardedDispatcher::cancel(std::uint64_t id) {
 }
 
 void ShardedDispatcher::wait_all() {
-  std::unique_lock<std::mutex> lock(registry_mutex_);
-  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(registry_mutex_);
+  while (pending_ != 0) idle_cv_.wait(registry_mutex_);
 }
 
 void ShardedDispatcher::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
-    if (stopping_.exchange(true)) return;  // idempotent
+    MutexLock lock(registry_mutex_);
+    if (stopping_.exchange(true)) {
+      // Another caller won the race and owns the joins; wait for it to
+      // finish instead of returning while workers may still be live
+      // (the destructor relies on shutdown() implying quiescence).
+      while (!joined_) idle_cv_.wait(registry_mutex_);
+      return;
+    }
   }
   // Close every ring under its producer mutex: any in-flight submitter
   // either completed its push before the close (the worker's drain
@@ -226,15 +236,15 @@ void ShardedDispatcher::shutdown() {
   // task with kShutdown. Either way no promise is stranded.
   for (auto& lane : lanes_) {
     {
-      std::lock_guard<std::mutex> producer(lane->producer_mutex);
+      MutexLock producer(lane->producer_mutex);
       lane->ring.close();
     }
-    std::lock_guard<std::mutex> wake(lane->wake_mutex);
+    MutexLock wake(lane->wake_mutex);
     lane->wake_cv.notify_all();
     lane->space_cv.notify_all();
   }
   {
-    std::lock_guard<std::mutex> lock(control_mutex_);
+    MutexLock lock(control_mutex_);
     control_cv_.notify_all();
   }
   for (auto& lane : lanes_) {
@@ -246,7 +256,7 @@ void ShardedDispatcher::shutdown() {
   // CAS — whoever wins resolves the task exactly once.
   std::vector<std::shared_ptr<Task>> parked;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     parked.reserve(by_id_.size());
     for (const auto& [id, task] : by_id_) {
       if (task->status.load() == kParked) parked.push_back(task);
@@ -259,6 +269,11 @@ void ShardedDispatcher::shutdown() {
       finish_one(task->id);
     }
   }
+  {
+    MutexLock lock(registry_mutex_);
+    joined_ = true;
+  }
+  idle_cv_.notify_all();
 }
 
 ShardedDispatcher::LaneStats ShardedDispatcher::lane_stats(int lane) const {
@@ -297,6 +312,8 @@ void ShardedDispatcher::run_task(Lane* lane,
 void ShardedDispatcher::shard_loop(int shard) {
   if (pin_threads_) pin_to_core(shard);
   Lane& lane = *lanes_[static_cast<std::size_t>(shard)];
+  // This thread is the lane's only consumer for its whole lifetime.
+  lane.ring.consumer_role().held();
   for (;;) {
     // Exit condition is the *closed ring*, not the stopping flag:
     // close() runs under the producer mutex, so once observed no
@@ -313,7 +330,7 @@ void ShardedDispatcher::shard_loop(int shard) {
     std::shared_ptr<Task> task;
     if (lane.ring.try_pop(task)) {
       if (lane.producers_waiting.load(std::memory_order_seq_cst) > 0) {
-        std::lock_guard<std::mutex> wake(lane.wake_mutex);
+        MutexLock wake(lane.wake_mutex);
         lane.space_cv.notify_all();
       }
       run_task(&lane, task);
@@ -327,8 +344,8 @@ void ShardedDispatcher::shard_loop(int shard) {
       continue;
     }
     {
-      std::unique_lock<std::mutex> wake(lane.wake_mutex);
-      lane.wake_cv.wait_for(wake, kConsumerNap, [&lane] {
+      MutexLock wake(lane.wake_mutex);
+      lane.wake_cv.wait_for(lane.wake_mutex, kConsumerNap, [&lane] {
         return !lane.ring.empty_approx() || lane.ring.closed();
       });
     }
@@ -339,28 +356,34 @@ void ShardedDispatcher::shard_loop(int shard) {
 void ShardedDispatcher::control_loop() {
   for (;;) {
     std::shared_ptr<Task> task;
+    std::vector<std::shared_ptr<Task>> drained;
+    bool stop = false;
     {
-      std::unique_lock<std::mutex> lock(control_mutex_);
-      control_cv_.wait(lock, [this] {
-        return !control_queue_.empty() ||
-               stopping_.load(std::memory_order_acquire);
-      });
+      MutexLock lock(control_mutex_);
+      while (control_queue_.empty() &&
+             !stopping_.load(std::memory_order_acquire)) {
+        control_cv_.wait(control_mutex_);
+      }
       if (stopping_.load(std::memory_order_acquire)) {
         // Drain: control tasks not yet claimed resolve with kShutdown,
-        // mirroring the shard lanes (and WorkerPool's queue drain).
-        std::vector<std::shared_ptr<Task>> drained(
-            std::make_move_iterator(control_queue_.begin()),
-            std::make_move_iterator(control_queue_.end()));
+        // mirroring the shard lanes (and WorkerPool's queue drain). The
+        // resolutions run after the lock is dropped — CancelFns fulfill
+        // promises and must not run under the control lock.
+        drained.assign(std::make_move_iterator(control_queue_.begin()),
+                       std::make_move_iterator(control_queue_.end()));
         control_queue_.clear();
-        lock.unlock();
-        for (const auto& t : drained) {
-          resolve_cancelled(t, ErrorCode::kShutdown,
-                            /*count_cancelled=*/false);
-        }
-        return;
+        stop = true;
+      } else {
+        task = std::move(control_queue_.front());
+        control_queue_.pop_front();
       }
-      task = std::move(control_queue_.front());
-      control_queue_.pop_front();
+    }
+    if (stop) {
+      for (const auto& t : drained) {
+        resolve_cancelled(t, ErrorCode::kShutdown,
+                          /*count_cancelled=*/false);
+      }
+      return;
     }
     run_task(nullptr, task);
   }
@@ -369,7 +392,7 @@ void ShardedDispatcher::control_loop() {
 void ShardedDispatcher::finish_one(std::uint64_t id) {
   bool idle = false;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     by_id_.erase(id);
     DMF_REQUIRE(pending_ > 0, "ShardedDispatcher: pending underflow");
     --pending_;

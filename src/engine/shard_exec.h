@@ -33,18 +33,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "engine/session.h"
 #include "util/spsc_ring.h"
+#include "util/thread_annotations.h"
 
 namespace dmf {
 
@@ -108,16 +107,19 @@ class ShardedDispatcher : public QueryDispatcher {
 
   struct Lane {
     explicit Lane(std::size_t capacity) : ring(capacity) {}
+    // Holding producer_mutex confers ring.producer_role(); the worker
+    // thread is the sole owner of ring.consumer_role() (asserted at the
+    // top of shard_loop).
     SpscRing<std::shared_ptr<Task>> ring;
     // Serializes submitter threads into the ring's single producer
     // slot; the consumer (worker) never takes it.
-    std::mutex producer_mutex;
+    Mutex producer_mutex;
     // Guards only the two blocked-side waits below; touched by the
     // opposite side only after the sleeping/waiting flag announced a
     // blocked peer.
-    std::mutex wake_mutex;
-    std::condition_variable wake_cv;   // consumer waits: ring drained
-    std::condition_variable space_cv;  // producer waits: ring full
+    Mutex wake_mutex;
+    CondVar wake_cv;   // consumer waits: ring drained
+    CondVar space_cv;  // producer waits: ring full
     std::atomic<bool> sleeping{false};
     std::atomic<int> producers_waiting{0};
     std::atomic<std::int64_t> executed{0};
@@ -144,18 +146,21 @@ class ShardedDispatcher : public QueryDispatcher {
   std::vector<std::unique_ptr<Lane>> lanes_;
 
   // Control lane: rebuilds and other non-query tasks, plain FIFO.
-  std::mutex control_mutex_;
-  std::condition_variable control_cv_;
-  std::deque<std::shared_ptr<Task>> control_queue_;
+  Mutex control_mutex_;
+  CondVar control_cv_;
+  std::deque<std::shared_ptr<Task>> control_queue_
+      DMF_GUARDED_BY(control_mutex_);
   std::thread control_worker_;
 
   // Registry of live tasks (queued, parked, running): cancel/release
   // lookups and the wait_all accounting. Held for map operations only.
-  mutable std::mutex registry_mutex_;
-  std::condition_variable idle_cv_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Task>> by_id_;
-  std::uint64_t next_id_ = 1;
-  std::size_t pending_ = 0;
+  mutable Mutex registry_mutex_;
+  CondVar idle_cv_;  // wait_all: pending reached zero; shutdown: joined
+  std::unordered_map<std::uint64_t, std::shared_ptr<Task>> by_id_
+      DMF_GUARDED_BY(registry_mutex_);
+  std::uint64_t next_id_ DMF_GUARDED_BY(registry_mutex_) = 1;
+  std::size_t pending_ DMF_GUARDED_BY(registry_mutex_) = 0;
+  bool joined_ DMF_GUARDED_BY(registry_mutex_) = false;
   std::atomic<bool> stopping_{false};
   std::atomic<std::int64_t> cancelled_{0};
 };

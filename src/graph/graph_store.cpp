@@ -109,7 +109,7 @@ GraphStore::GraphStore(Graph initial, GraphStoreOptions options)
   history_.push_back(
       GraphSnapshot{std::move(graph), std::move(csr), std::move(plan), 0});
   if (options_.persist == PersistPolicy::kOnPublish) {
-    std::lock_guard<std::mutex> writer(writer_mutex_);
+    MutexLock writer(writer_mutex_);
     persist_snapshot_locked(history_.back());
   }
 }
@@ -228,12 +228,12 @@ std::shared_ptr<GraphStore> GraphStore::open(const std::string& data_dir,
 }
 
 GraphSnapshot GraphStore::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return history_.back();
 }
 
 GraphSnapshot GraphStore::snapshot(GraphVersion version) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   DMF_REQUIRE(version >= pruned_below_ &&
                   version < pruned_below_ + history_.size(),
               "GraphStore::snapshot: version " + std::to_string(version) +
@@ -242,12 +242,12 @@ GraphSnapshot GraphStore::snapshot(GraphVersion version) const {
 }
 
 GraphVersion GraphStore::latest_version() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return history_.back().version;
 }
 
 std::size_t GraphStore::num_retained() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return history_.size();
 }
 
@@ -255,10 +255,10 @@ GraphSnapshot GraphStore::apply(const MutationBatch& batch) {
   // One writer at a time: the copy below must be of the snapshot the
   // new version supersedes, or a concurrent apply would be silently
   // lost. Readers are untouched — they only take mutex_, never this.
-  std::lock_guard<std::mutex> writer(writer_mutex_);
+  MutexLock writer(writer_mutex_);
   GraphSnapshot base;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     base = history_.back();
   }
   // Copy-on-write: mutate a private copy; any invalid op throws here
@@ -301,7 +301,7 @@ GraphSnapshot GraphStore::apply(const MutationBatch& batch) {
   GraphSnapshot published{std::move(next_graph), std::move(next_csr),
                           std::move(next_plan), base.version + 1};
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     history_.push_back(published);
     if (options_.history_limit > 0 &&
         history_.size() > options_.history_limit) {
@@ -323,10 +323,10 @@ GraphSnapshot GraphStore::apply(const MutationBatch& batch) {
 GraphVersion GraphStore::persist() {
   DMF_REQUIRE(persistence_enabled(),
               "GraphStore::persist: no data_dir configured");
-  std::lock_guard<std::mutex> writer(writer_mutex_);
+  MutexLock writer(writer_mutex_);
   GraphSnapshot latest;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     latest = history_.back();
   }
   if (!(last_persisted_.valid && last_persisted_.version == latest.version)) {

@@ -34,13 +34,13 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "graph/csr_graph.h"
 #include "graph/graph.h"
 #include "graph/shard_plan.h"
+#include "util/thread_annotations.h"
 
 namespace dmf {
 
@@ -229,16 +229,20 @@ class GraphStore {
              PersistedRefs last);
 
   // Both run under writer_mutex_.
-  void persist_snapshot_locked(const GraphSnapshot& snap);
-  void gc_locked() const;
+  void persist_snapshot_locked(const GraphSnapshot& snap)
+      DMF_REQUIRES(writer_mutex_);
+  void gc_locked() const DMF_REQUIRES(writer_mutex_);
 
   GraphStoreOptions options_;
-  mutable std::mutex mutex_;  // guards history_
-  std::mutex writer_mutex_;   // serializes apply()/persist() end to end
-  GraphVersion pruned_below_ = 0;
+  // Lock order: writer_mutex_ first, mutex_ inside it (apply/persist
+  // take the writer lock for the whole operation and the history lock
+  // only around the snapshot read/publish); never the reverse.
+  mutable Mutex mutex_;
+  mutable Mutex writer_mutex_ DMF_ACQUIRED_BEFORE(mutex_);
+  GraphVersion pruned_below_ DMF_GUARDED_BY(mutex_) = 0;
   // history_[i].version == pruned_below_ + i
-  std::vector<GraphSnapshot> history_;
-  PersistedRefs last_persisted_;  // guarded by writer_mutex_
+  std::vector<GraphSnapshot> history_ DMF_GUARDED_BY(mutex_);
+  PersistedRefs last_persisted_ DMF_GUARDED_BY(writer_mutex_);
 };
 
 }  // namespace dmf

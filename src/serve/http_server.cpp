@@ -11,15 +11,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "serve/wire.h"
+#include "util/thread_annotations.h"
 
 namespace dmf::serve {
 
@@ -147,14 +146,16 @@ struct HttpServer::Impl {
   bool started = false;
   bool drained = false;
 
-  std::mutex outbox_mutex;
-  std::vector<OutboxItem> outbox;
+  // Workers and the engine's completion callbacks deposit responses
+  // here; only the loop thread drains it (process_outbox).
+  Mutex outbox_mutex;
+  std::vector<OutboxItem> outbox DMF_GUARDED_BY(outbox_mutex);
 
-  std::mutex task_mutex;
-  std::condition_variable task_cv;
-  std::deque<Task> tasks;
-  int busy_workers = 0;
-  bool workers_stop = false;
+  Mutex task_mutex;
+  CondVar task_cv;
+  std::deque<Task> tasks DMF_GUARDED_BY(task_mutex);
+  int busy_workers DMF_GUARDED_BY(task_mutex) = 0;
+  bool workers_stop DMF_GUARDED_BY(task_mutex) = false;
 
   // Loop-thread-only state.
   std::unordered_map<std::uint64_t, Connection> conns;
@@ -175,7 +176,7 @@ struct HttpServer::Impl {
                     bool binary) {
     Responder responder(owner, conn_id, seq, binary);
     {
-      std::lock_guard<std::mutex> lock(task_mutex);
+      MutexLock lock(task_mutex);
       tasks.push_back(Task{std::move(req), responder});
     }
     task_cv.notify_one();
@@ -185,8 +186,8 @@ struct HttpServer::Impl {
     for (;;) {
       Task task;
       {
-        std::unique_lock<std::mutex> lock(task_mutex);
-        task_cv.wait(lock, [&] { return workers_stop || !tasks.empty(); });
+        MutexLock lock(task_mutex);
+        while (!workers_stop && tasks.empty()) task_cv.wait(task_mutex);
         if (tasks.empty()) return;  // stop requested and queue is dry
         task = std::move(tasks.front());
         tasks.pop_front();
@@ -194,14 +195,14 @@ struct HttpServer::Impl {
       }
       dispatch(std::move(task.request), task.responder);
       {
-        std::lock_guard<std::mutex> lock(task_mutex);
+        MutexLock lock(task_mutex);
         --busy_workers;
       }
     }
   }
 
   [[nodiscard]] bool workers_idle() {
-    std::lock_guard<std::mutex> lock(task_mutex);
+    MutexLock lock(task_mutex);
     return tasks.empty() && busy_workers == 0;
   }
 
@@ -237,7 +238,7 @@ struct HttpServer::Impl {
   void process_outbox() {
     std::vector<OutboxItem> items;
     {
-      std::lock_guard<std::mutex> lock(outbox_mutex);
+      MutexLock lock(outbox_mutex);
       items.swap(outbox);
     }
     for (OutboxItem& item : items) {
@@ -629,7 +630,7 @@ void HttpServer::drain() {
   // answered everything; only then is stopping them race-free.
   im.loop_thread.join();
   {
-    std::lock_guard<std::mutex> lock(im.task_mutex);
+    MutexLock lock(im.task_mutex);
     im.workers_stop = true;
   }
   im.task_cv.notify_all();
@@ -647,7 +648,7 @@ void HttpServer::deliver(
   (void)binary;  // encoding picked by the loop from connection state
   Impl& im = *impl_;
   {
-    std::lock_guard<std::mutex> lock(im.outbox_mutex);
+    MutexLock lock(im.outbox_mutex);
     im.outbox.push_back(Impl::OutboxItem{conn_id, seq, status,
                                          std::move(body),
                                          std::move(extra_headers)});

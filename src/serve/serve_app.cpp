@@ -66,12 +66,12 @@ int ServeApp::binary_port() const {
 }
 
 std::int64_t ServeApp::in_flight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return in_flight_;
 }
 
 ServeCounters ServeApp::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 
@@ -83,8 +83,8 @@ void ServeApp::drain() {
   // 2. Wait for every admitted request to be answered. Engine
   //    callbacks keep firing during this wait; nothing is abandoned.
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mu_);
+    while (in_flight_ != 0) cv_.wait(mu_);
     stop_deadline_thread_ = true;
   }
   cv_.notify_all();
@@ -96,30 +96,37 @@ void ServeApp::drain() {
 // --- deadline timer ----------------------------------------------------------
 
 void ServeApp::deadline_main() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stop_deadline_thread_) {
-    if (deadlines_.empty()) {
-      cv_.wait(lock);
-      continue;
+  for (;;) {
+    std::function<bool()> cancel;
+    {
+      MutexLock lock(mu_);
+      while (!stop_deadline_thread_) {
+        if (deadlines_.empty()) {
+          cv_.wait(mu_);
+          continue;
+        }
+        auto min_it = deadlines_.begin();
+        for (auto it = deadlines_.begin(); it != deadlines_.end(); ++it) {
+          if (it->second.at < min_it->second.at) min_it = it;
+        }
+        const Clock::time_point now = Clock::now();
+        if (min_it->second.at > now) {
+          cv_.wait_until(mu_, min_it->second.at);
+          continue;
+        }
+        cancel = std::move(min_it->second.cancel);
+        deadlines_.erase(min_it);
+        break;
+      }
     }
-    auto min_it = deadlines_.begin();
-    for (auto it = deadlines_.begin(); it != deadlines_.end(); ++it) {
-      if (it->second.at < min_it->second.at) min_it = it;
-    }
-    const Clock::time_point now = Clock::now();
-    if (min_it->second.at > now) {
-      cv_.wait_until(lock, min_it->second.at);
-      continue;
-    }
-    std::function<bool()> cancel = std::move(min_it->second.cancel);
-    deadlines_.erase(min_it);
-    lock.unlock();
+    if (cancel == nullptr) return;  // stop requested
     // cancel() may run the engine completion callback synchronously on
     // this thread (for still-queued/parked queries); that callback
-    // re-takes mu_, so it must be released here.
-    const bool fired = cancel();
-    lock.lock();
-    if (fired) ++counters_.deadline_cancelled;
+    // re-takes mu_, so it must run outside the lock.
+    if (cancel()) {
+      MutexLock lock(mu_);
+      ++counters_.deadline_cancelled;
+    }
   }
 }
 
@@ -154,7 +161,7 @@ void ServeApp::arm_deadline(std::uint64_t request_id, double deadline_seconds,
   if (deadline_seconds <= 0.0) return;
   auto shared = std::make_shared<Ticket>(std::move(ticket));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // The callback may already have fired and erased nothing; a stale
     // entry is harmless — cancel() on a resolved ticket returns false.
     deadlines_[request_id] = DeadlineEntry{
@@ -172,7 +179,7 @@ void ServeApp::complete(
     const Responder& responder, int status, std::string body,
     std::vector<std::pair<std::string, std::string>> extra_headers) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     endpoint_latency_[endpoint].record(
         seconds_between(start, Clock::now()));
     if (admitted) {
@@ -188,7 +195,7 @@ void ServeApp::finish_query(std::uint64_t request_id, Clock::time_point start,
                             const Responder& responder,
                             const Result<Payload>& res, bool include_flow) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     deadlines_.erase(request_id);
   }
   if (!res.ok()) {
@@ -281,7 +288,7 @@ void ServeApp::handle(Request req, Responder responder) {
     return;
   }
   if (draining_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++counters_.rejected_draining;
     // Not via complete(): no latency sample for rejected work, and the
     // in-flight window was never entered.
@@ -294,7 +301,7 @@ void ServeApp::handle(Request req, Responder responder) {
     const std::string* tenant_header = req.header("x-dmf-tenant");
     const std::string tenant =
         tenant_header != nullptr ? *tenant_header : std::string();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const char* shed_reason = nullptr;
     if (in_flight_ >= options_.max_in_flight) {
       ++counters_.shed_in_flight;
@@ -324,7 +331,7 @@ void ServeApp::handle(Request req, Responder responder) {
     }
   } catch (const WireError& e) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++counters_.wire_errors;
     }
     complete(endpoint, start, /*admitted=*/true, responder, 400,
@@ -347,7 +354,7 @@ void ServeApp::handle_query(const Request& req, Responder responder,
 
   std::uint64_t request_id = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     request_id = next_request_id_++;
   }
   SubmitOptions sopts;
@@ -398,7 +405,7 @@ void ServeApp::handle_stats(Responder responder, Clock::time_point start) {
   const EngineStats engine_stats = engine_.stats();
   JsonObject serve;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     serve.emplace_back("in_flight", Json(in_flight_));
     serve.emplace_back("draining",
                        Json(draining_.load(std::memory_order_acquire)));

@@ -22,12 +22,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
@@ -35,6 +33,7 @@
 #include "serve/histogram.h"
 #include "serve/http_server.h"
 #include "serve/wire.h"
+#include "util/thread_annotations.h"
 
 namespace dmf::serve {
 
@@ -130,7 +129,7 @@ class ServeApp {
                     Ticket&& ticket);
 
   double deadline_for(const Request& req) const;
-  TokenBucket& bucket_for(const std::string& tenant);  // callers hold mu_
+  TokenBucket& bucket_for(const std::string& tenant) DMF_REQUIRES(mu_);
   void deadline_main();
 
   FlowEngine& engine_;
@@ -141,15 +140,16 @@ class ServeApp {
   bool drained_ = false;
   bool started_ = false;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::int64_t in_flight_ = 0;
-  std::uint64_t next_request_id_ = 1;
-  ServeCounters counters_;
-  std::map<std::string, TokenBucket> buckets_;
-  std::map<std::string, LatencyHistogram> endpoint_latency_;
-  std::map<std::uint64_t, DeadlineEntry> deadlines_;
-  bool stop_deadline_thread_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;  // in-flight drained; deadline set changed; stop requested
+  std::int64_t in_flight_ DMF_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_request_id_ DMF_GUARDED_BY(mu_) = 1;
+  ServeCounters counters_ DMF_GUARDED_BY(mu_);
+  std::map<std::string, TokenBucket> buckets_ DMF_GUARDED_BY(mu_);
+  std::map<std::string, LatencyHistogram> endpoint_latency_
+      DMF_GUARDED_BY(mu_);
+  std::map<std::uint64_t, DeadlineEntry> deadlines_ DMF_GUARDED_BY(mu_);
+  bool stop_deadline_thread_ DMF_GUARDED_BY(mu_) = false;
   std::thread deadline_thread_;
 };
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "util/require.h"
+#include "util/thread_annotations.h"
 
 namespace dmf {
 
@@ -37,9 +38,24 @@ class SpscRing {
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
+  // The SPSC contract as analysis-time capabilities: whatever
+  // serializes the producer side (a mutex, a single owning thread) owns
+  // producer_role(); the single draining thread owns consumer_role().
+  // Callers assert ownership once via role().held() — zero runtime cost
+  // — and the analysis then rejects try_push/try_pop calls from code
+  // that never established a role.
+  [[nodiscard]] const Role& producer_role() const
+      DMF_RETURN_CAPABILITY(producer_) {
+    return producer_;
+  }
+  [[nodiscard]] const Role& consumer_role() const
+      DMF_RETURN_CAPABILITY(consumer_) {
+    return consumer_;
+  }
+
   // Producer side. False when the ring is full or closed; the element
   // is left untouched in that case (the caller keeps ownership).
-  bool try_push(T& value) {
+  bool try_push(T& value) DMF_REQUIRES(producer_) {
     if (closed_.load(std::memory_order_acquire)) return false;
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_cache_ >= capacity_) {
@@ -53,7 +69,7 @@ class SpscRing {
 
   // Consumer side. False when the ring is empty (closed rings keep
   // draining until empty).
-  bool try_pop(T& out) {
+  bool try_pop(T& out) DMF_REQUIRES(consumer_) {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     if (head >= tail_cache_) {
       tail_cache_ = tail_.load(std::memory_order_acquire);
@@ -83,13 +99,18 @@ class SpscRing {
 
  private:
   const std::size_t capacity_;
+  // Slots are written by the producer and consumed by the consumer at
+  // disjoint indices; the head_/tail_ acquire/release pair publishes
+  // each slot, so no single capability guards the vector itself.
   std::vector<T> slots_;
+  Role producer_;
+  Role consumer_;
   // Consumer cache line: the pop cursor plus its cached view of tail_.
   alignas(64) std::atomic<std::uint64_t> head_{0};
-  std::uint64_t tail_cache_ = 0;
+  std::uint64_t tail_cache_ DMF_GUARDED_BY(consumer_) = 0;
   // Producer cache line: the push cursor plus its cached view of head_.
   alignas(64) std::atomic<std::uint64_t> tail_{0};
-  std::uint64_t head_cache_ = 0;
+  std::uint64_t head_cache_ DMF_GUARDED_BY(producer_) = 0;
   alignas(64) std::atomic<bool> closed_{false};
 };
 
